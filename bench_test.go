@@ -1,0 +1,215 @@
+package stramash_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§9). Each benchmark regenerates its experiment
+// at quick scale per iteration and reports the headline metric of the
+// corresponding paper result as a custom unit, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation in one sweep. `go run ./cmd/stramash-bench
+// -scale full` produces the publication-sized tables.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/hwref"
+)
+
+// run executes an experiment by id once per b.N iteration and fails the
+// benchmark if the experiment errors.
+func run(b *testing.B, id string) experiments.Result {
+	b.Helper()
+	spec, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = spec.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkTable2Latencies regenerates Table 2 (memory-operation latency
+// configuration).
+func BenchmarkTable2Latencies(b *testing.B) {
+	res := run(b, "table2")
+	if errs := res.ShapeErrors(); len(errs) != 0 {
+		b.Fatalf("shape: %v", errs)
+	}
+}
+
+// BenchmarkFig56IPILatency regenerates Figures 5/6 (IPI latency matrices)
+// and reports the big-pair mean in µs (paper: ≈ 2 µs).
+func BenchmarkFig56IPILatency(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5_6(hwref.BigPair())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = (r.Stats[0].MeanMicros + r.Stats[1].MeanMicros) / 2
+	}
+	b.ReportMetric(mean, "µs/IPI")
+}
+
+// BenchmarkFig7ICountValidation regenerates Figure 7 on the big pair and
+// reports the mean relative error in percent (paper: ≈ 4%, always < 13%).
+func BenchmarkFig7ICountValidation(b *testing.B) {
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(hwref.BigPair(), experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = r.MeanErr
+	}
+	b.ReportMetric(100*meanErr, "%mean-err")
+}
+
+// BenchmarkFig8CacheValidation regenerates Figure 8 and reports the
+// maximum per-level hit-rate discrepancy in percentage points (paper:
+// < 5%).
+func BenchmarkFig8CacheValidation(b *testing.B) {
+	var maxDiff float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDiff = r.MaxDiff
+	}
+	b.ReportMetric(100*maxDiff, "%max-diff")
+}
+
+// BenchmarkTable3MigrationCounts regenerates Table 3 and reports the worst
+// (lowest) message-reduction rate across the NPB benchmarks (paper:
+// ≥ 99.78% at full scale).
+func BenchmarkTable3MigrationCounts(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, row := range r.Rows {
+			if row.MsgReduction < worst {
+				worst = row.MsgReduction
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "%msg-reduction")
+}
+
+// BenchmarkTable4Allocator regenerates Table 4 and reports the x86
+// offline cost at the largest measured slice in milliseconds.
+func BenchmarkTable4Allocator(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = r.Rows[len(r.Rows)-1].X86Offline
+	}
+	b.ReportMetric(ms, "ms/offline")
+}
+
+// BenchmarkFig9NPB regenerates Figure 9 and reports the headline result:
+// Stramash-Shared's speedup over Popcorn-SHM on IS (paper: ≈ 2.1x).
+func BenchmarkFig9NPB(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = r.Speedup("IS", "Stramash-Shared", "Popcorn-SHM")
+	}
+	b.ReportMetric(sp, "x-IS-speedup")
+}
+
+// BenchmarkFig10CacheSize regenerates Figure 10 and reports how much a
+// larger L3 closes CG's Stramash-to-SHM gap (ratio of normalized gaps).
+func BenchmarkFig10CacheSize(b *testing.B) {
+	var closure float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap := func(res *experiments.Figure9Result) float64 {
+			str, _ := res.Cell("CG", "Stramash-Shared")
+			shm, _ := res.Cell("CG", "Popcorn-SHM")
+			return float64(str.Cycles) / float64(shm.Cycles)
+		}
+		closure = gap(r.Small) / gap(r.Large)
+	}
+	b.ReportMetric(closure, "x-CG-gap-closure")
+}
+
+// BenchmarkFig11MemoryAccess regenerates Figure 11 and reports
+// Stramash-FullyShared's cold-remote-access speedup over Popcorn-SHM
+// (paper: up to 4.5x).
+func BenchmarkFig11MemoryAccess(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shm, _ := r.Cell("RaO", "Popcorn-SHM")
+		fs, _ := r.Cell("RaO", "Stramash-FullyShared")
+		sp = float64(shm.Cycles) / float64(fs.Cycles)
+	}
+	b.ReportMetric(sp, "x-RaO-speedup")
+}
+
+// BenchmarkFig12Granularity regenerates Figure 12 and reports the
+// single-cacheline DSM/hardware-coherence cost ratio (paper: > 300x).
+func BenchmarkFig12Granularity(b *testing.B) {
+	var r1 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1 = r.Rows[0].Ratio
+	}
+	b.ReportMetric(r1, "x-1line-ratio")
+}
+
+// BenchmarkFig13Futex regenerates Figure 13 and reports the fused futex's
+// speedup over the origin-managed protocol at the largest loop count.
+func BenchmarkFig13Futex(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure13(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = r.Rows[len(r.Rows)-1].Speedup
+	}
+	b.ReportMetric(sp, "x-futex-speedup")
+}
+
+// BenchmarkFig14Redis regenerates Figure 14 and reports Stramash's GET
+// speedup over POPCORN-TCP (paper: up to 12x).
+func BenchmarkFig14Redis(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure14(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = r.Rows[0].StramashSpeedup
+	}
+	b.ReportMetric(sp, "x-get-speedup")
+}

@@ -1,0 +1,69 @@
+// Command stramash-bench regenerates every table and figure of the
+// paper's evaluation section and reports, per experiment, whether the
+// paper's shape claims reproduce.
+//
+// Usage:
+//
+//	stramash-bench [-scale quick|full] [-only <id>] [-list]
+//
+// Experiment ids: table2, fig5-6-small, fig5-6-big, fig7-small, fig7-big,
+// fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	only := flag.String("only", "", "run a single experiment by id")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Println(s.ID)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	specs := experiments.All()
+	if *only != "" {
+		s, ok := experiments.Find(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *only)
+			os.Exit(2)
+		}
+		specs = []experiments.Spec{s}
+	}
+
+	deviations := 0
+	for _, s := range specs {
+		_, shape, err := experiments.RunAndReport(os.Stdout, s, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		deviations += len(shape)
+	}
+	if deviations > 0 {
+		fmt.Printf("total shape deviations: %d\n", deviations)
+		os.Exit(3)
+	}
+	fmt.Println("all shape checks reproduced")
+}

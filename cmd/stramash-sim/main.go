@@ -1,0 +1,125 @@
+// Command stramash-sim runs one workload on one simulated machine
+// configuration and prints the perf profile, the overhead breakdown, and
+// the artifact-style cache counter dump — the reproduction's equivalent of
+// booting a Stramash-QEMU pair and running an NPB binary in it.
+//
+// Usage:
+//
+//	stramash-sim [-os vanilla|popcorn-tcp|popcorn-shm|stramash]
+//	             [-model separated|shared|fullyshared]
+//	             [-bench IS|CG|MG|FT] [-class T|S|W]
+//	             [-l3 bytes] [-no-migrate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/npb"
+	"repro/internal/perf"
+)
+
+func main() {
+	osFlag := flag.String("os", "stramash", "OS personality: vanilla, popcorn-tcp, popcorn-shm, stramash")
+	modelFlag := flag.String("model", "shared", "memory model: separated, shared, fullyshared")
+	benchFlag := flag.String("bench", "IS", "benchmark: IS, CG, MG, FT")
+	classFlag := flag.String("class", "S", "problem class: T, S, W")
+	l3 := flag.Int("l3", 0, "per-node L3 size in bytes (0 = default 4 MiB)")
+	noMigrate := flag.Bool("no-migrate", false, "run without cross-ISA migration")
+	flag.Parse()
+
+	osKind, err := parseOS(*osFlag)
+	fatal(err)
+	model, err := parseModel(*modelFlag)
+	fatal(err)
+	class, err := parseClass(*classFlag)
+	fatal(err)
+
+	w, err := npb.New(*benchFlag, class)
+	fatal(err)
+
+	m, err := machine.New(machine.Config{Model: model, OS: osKind, L3Size: *l3})
+	fatal(err)
+
+	migrate := !*noMigrate && osKind != machine.VanillaOS
+	fmt.Printf("running %s (class %v) on %v / %v, migrate=%v\n\n",
+		w.Name(), class, osKind, model, migrate)
+
+	var profile perf.Profile
+	var breakdown perf.Breakdown
+	res, err := m.RunSingle(w.Name(), mem.NodeX86, func(t *kernel.Task) error {
+		if err := w.Run(t, migrate); err != nil {
+			return err
+		}
+		profile = perf.Collect(t)
+		breakdown = perf.BreakdownOf(t.TimedStats(), t.TimedCycles())
+		return nil
+	})
+	fatal(err)
+
+	fmt.Printf("result: VERIFIED, total %d cycles (task end-to-end)\n", res.Elapsed())
+	fmt.Printf("timed region: %d cycles\n", breakdown.Total)
+	fmt.Printf("breakdown: %v\n", breakdown)
+	fmt.Printf("icount: x86=%d arm=%d (IPC %.3f / %.3f)\n\n",
+		profile.Node[0].Instructions, profile.Node[1].Instructions,
+		profile.Node[0].IPC(), profile.Node[1].IPC())
+
+	st := res.Task.Stats
+	fmt.Printf("faults: %d read, %d write | migrations: %d | messages: %d\n\n",
+		st.ReadFaults, st.WriteFaults, st.Migrations, m.Messages())
+
+	for n := 0; n < 2; n++ {
+		node := mem.NodeID(n)
+		fmt.Println(perf.ArtifactDump(node.String(), m.CacheStats(node),
+			m.Plat.IPICount(node), res.Task.NodeTime(node)))
+	}
+}
+
+func parseOS(s string) (machine.OSKind, error) {
+	switch s {
+	case "vanilla":
+		return machine.VanillaOS, nil
+	case "popcorn-tcp":
+		return machine.PopcornTCP, nil
+	case "popcorn-shm":
+		return machine.PopcornSHM, nil
+	case "stramash":
+		return machine.StramashOS, nil
+	}
+	return 0, fmt.Errorf("unknown OS %q", s)
+}
+
+func parseModel(s string) (mem.Model, error) {
+	switch s {
+	case "separated":
+		return mem.Separated, nil
+	case "shared":
+		return mem.Shared, nil
+	case "fullyshared":
+		return mem.FullyShared, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}
+
+func parseClass(s string) (npb.Class, error) {
+	switch s {
+	case "T":
+		return npb.ClassT, nil
+	case "S":
+		return npb.ClassS, nil
+	case "W":
+		return npb.ClassW, nil
+	}
+	return 0, fmt.Errorf("unknown class %q", s)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stramash-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+// Command stramash-validate runs the simulator-validation suite of §9.1:
+// the IPI latency characterisation (Figures 5/6), the icount validation
+// against the bare-metal reference machines (Figure 7), and the cache
+// plugin comparison against the independent gem5-style model (Figure 8).
+//
+// Usage:
+//
+//	stramash-validate [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+
+	deviations := 0
+	for _, id := range []string{"table2", "fig5-6-small", "fig5-6-big", "fig7-small", "fig7-big", "fig8"} {
+		spec, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
+			os.Exit(1)
+		}
+		_, shape, err := experiments.RunAndReport(os.Stdout, spec, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		deviations += len(shape)
+	}
+	if deviations > 0 {
+		fmt.Printf("validation finished with %d shape deviation(s)\n", deviations)
+		os.Exit(3)
+	}
+	fmt.Println("simulator validation reproduced")
+}

@@ -1,0 +1,66 @@
+// OS comparison on one workload: the Figure 9 experiment in miniature.
+//
+// Runs NPB Integer Sort (the paper's headline benchmark) under all four
+// system configurations on the CXL-style Shared memory model and prints a
+// normalized comparison — the same numbers Figure 9's IS group shows.
+//
+// Run with:
+//
+//	go run ./examples/osbench [-bench IS|CG|MG|FT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bench := flag.String("bench", "IS", "benchmark: IS, CG, MG, FT")
+	flag.Parse()
+
+	type cfg struct {
+		label   string
+		os      stramash.OSKind
+		migrate bool
+	}
+	configs := []cfg{
+		{"Vanilla (no migration)", stramash.SingleKernel, false},
+		{"Multiple-kernel / TCP", stramash.MultiKernelTCP, true},
+		{"Multiple-kernel / SHM", stramash.MultiKernelSHM, true},
+		{"Fused-kernel (Stramash)", stramash.FusedKernel, true},
+	}
+
+	var baseline stramash.Cycles
+	for _, c := range configs {
+		m, err := stramash.NewMachine(stramash.MachineConfig{
+			Model: stramash.ModelShared,
+			OS:    c.os,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := stramash.NewWorkload(*bench, stramash.ClassTiny)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cycles stramash.Cycles
+		_, err = m.RunSingle(*bench, stramash.NodeX86, func(t *stramash.Task) error {
+			if err := w.Run(t, c.migrate); err != nil {
+				return err
+			}
+			cycles = t.TimedCycles()
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = cycles
+		}
+		fmt.Printf("%-26s %12d cycles  (%.2fx vanilla, %d messages)\n",
+			c.label, cycles, float64(cycles)/float64(baseline), m.Messages())
+	}
+}

@@ -1,0 +1,473 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// lineAddr is a physical address divided by the line size.
+type lineAddr uint64
+
+func lineOf(a mem.PhysAddr) lineAddr { return lineAddr(a) / mem.LineSize }
+
+// way is one cache way: a tag plus replacement state.
+type way struct {
+	line  lineAddr
+	valid bool
+	dirty bool
+	used  int64 // global LRU timestamp
+}
+
+// level is one set-associative cache level with true LRU replacement.
+type level struct {
+	sets [][]way
+	mask uint64
+}
+
+func newLevel(c LevelConfig) *level {
+	n := c.Sets()
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two (size=%d ways=%d)", n, c.Size, c.Ways))
+	}
+	l := &level{sets: make([][]way, n), mask: uint64(n - 1)}
+	for i := range l.sets {
+		l.sets[i] = make([]way, c.Ways)
+	}
+	return l
+}
+
+func (l *level) setOf(a lineAddr) []way { return l.sets[uint64(a)&l.mask] }
+
+// lookup returns the way holding a, or nil.
+func (l *level) lookup(a lineAddr) *way {
+	if l == nil {
+		return nil
+	}
+	set := l.setOf(a)
+	for i := range set {
+		if set[i].valid && set[i].line == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills a into the level, evicting the LRU way if needed. It returns
+// the evicted line and whether an eviction of a valid (possibly dirty) line
+// happened.
+func (l *level) insert(a lineAddr, tick int64) (evicted lineAddr, wasValid, wasDirty bool) {
+	if l == nil {
+		return 0, false, false
+	}
+	set := l.setOf(a)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	w := &set[victim]
+	evicted, wasValid, wasDirty = w.line, w.valid, w.dirty
+	*w = way{line: a, valid: true, used: tick}
+	return evicted, wasValid, wasDirty
+}
+
+// invalidate removes a from the level, returning whether it was present and
+// whether it was dirty.
+func (l *level) invalidate(a lineAddr) (present, dirty bool) {
+	if l == nil {
+		return false, false
+	}
+	set := l.setOf(a)
+	for i := range set {
+		if set[i].valid && set[i].line == a {
+			present, dirty = true, set[i].dirty
+			set[i] = way{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// flushAll invalidates every line (used by tests and node reset).
+func (l *level) flushAll() {
+	if l == nil {
+		return
+	}
+	for s := range l.sets {
+		for i := range l.sets[s] {
+			l.sets[s][i] = way{}
+		}
+	}
+}
+
+// dirEntry tracks the MESI state of one line across the two nodes.
+type dirEntry struct {
+	holders [2]bool
+	// owner is the node holding the line Exclusive or Modified, or -1 when
+	// the line is Shared or uncached.
+	owner    int
+	modified bool
+}
+
+// nodeCaches is one node's private hierarchy plus its counters.
+type nodeCaches struct {
+	l1i, l1d, l2 []*level // indexed by core
+	l3           *level   // nil when the machine uses a shared L3
+	stats        Stats
+}
+
+// Hierarchy is the machine-wide memory system timing model.
+type Hierarchy struct {
+	cfg      Config
+	layout   *mem.Layout
+	nodes    [2]*nodeCaches
+	sharedL3 *level
+	dir      map[lineAddr]*dirEntry
+	tick     int64
+
+	// Tap, when set, observes every access before it is simulated. The
+	// Figure 8 validation uses it to replay the identical reference stream
+	// through the independent gem5-style model.
+	Tap func(node mem.NodeID, core int, kind Kind, addr mem.PhysAddr, size int)
+}
+
+// NewHierarchy builds the cache model for the given configuration and
+// physical layout.
+func NewHierarchy(cfg Config, layout *mem.Layout) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, layout: layout, dir: make(map[lineAddr]*dirEntry)}
+	for n := 0; n < 2; n++ {
+		nc := &nodeCaches{}
+		for c := 0; c < cfg.Nodes[n].Cores; c++ {
+			nc.l1i = append(nc.l1i, newLevel(cfg.Nodes[n].L1I))
+			nc.l1d = append(nc.l1d, newLevel(cfg.Nodes[n].L1D))
+			nc.l2 = append(nc.l2, newLevel(cfg.Nodes[n].L2))
+		}
+		if !cfg.SharedL3 {
+			nc.l3 = newLevel(cfg.Nodes[n].L3)
+		}
+		h.nodes[n] = nc
+	}
+	if cfg.SharedL3 {
+		h.sharedL3 = newLevel(cfg.Nodes[0].L3)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of node n's counters.
+func (h *Hierarchy) Stats(n mem.NodeID) Stats { return h.nodes[n].stats }
+
+// ResetStats zeroes all counters without disturbing cache contents.
+func (h *Hierarchy) ResetStats() {
+	for _, nc := range h.nodes {
+		nc.stats = Stats{}
+	}
+}
+
+// entry returns the directory entry for a line, creating it as uncached.
+func (h *Hierarchy) entry(a lineAddr) *dirEntry {
+	e := h.dir[a]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		h.dir[a] = e
+	}
+	return e
+}
+
+// Access simulates one memory access of size bytes at addr by (node, core)
+// and returns the total latency in cycles. Accesses spanning multiple lines
+// are charged per line, like the QEMU plugin does.
+func (h *Hierarchy) Access(node mem.NodeID, core int, kind Kind, addr mem.PhysAddr, size int) sim.Cycles {
+	if size <= 0 {
+		size = 1
+	}
+	if h.Tap != nil {
+		h.Tap(node, core, kind, addr, size)
+	}
+	first := lineOf(addr)
+	last := lineOf(addr + mem.PhysAddr(size-1))
+	var total sim.Cycles
+	for ln := first; ln <= last; ln++ {
+		total += h.accessLine(int(node), core, kind, ln)
+	}
+	return total
+}
+
+// accessLine performs the per-line simulation: coherence, lookup, fill.
+func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycles {
+	h.tick++
+	nc := h.nodes[node]
+	st := &nc.stats
+	lat := h.cfg.Nodes[node].Lat
+	other := 1 - node
+
+	var cost sim.Cycles
+
+	// Coherence actions against the other node (and other cores via
+	// inclusion-maintained invalidation).
+	e := h.entry(ln)
+	isWrite := kind == Write
+	if isWrite {
+		if e.holders[other] {
+			// CXL Snoop Invalidate: the other node must drop its copy.
+			h.invalidateNode(other, ln)
+			e.holders[other] = false
+			cost += h.cfg.CrossNode.Invalidate
+			st.SnoopInvalidations++
+			h.nodes[other].stats.BackInvalidations++
+			st.CoherenceLatency += h.cfg.CrossNode.Invalidate
+		}
+		e.holders[node] = true
+		e.owner = node
+		e.modified = true
+	} else {
+		if e.holders[other] && e.owner == other {
+			// CXL Snoop Data: M/E at the other node; forward data, both S.
+			cost += h.cfg.CrossNode.Data
+			st.SnoopDataForwards++
+			st.CoherenceLatency += h.cfg.CrossNode.Data
+			e.owner = -1
+			e.modified = false
+		}
+		wasCached := e.holders[0] || e.holders[1]
+		e.holders[node] = true
+		if !wasCached {
+			e.owner = node // Exclusive
+		} else if e.owner != node {
+			e.owner = -1 // Shared
+		}
+	}
+
+	// Level lookups.
+	l1 := nc.l1d[core]
+	if kind == Ifetch {
+		l1 = nc.l1i[core]
+		st.L1IAccesses++
+	} else {
+		st.L1DAccesses++
+		st.MemAccesses++
+	}
+	if w := l1.lookup(ln); w != nil {
+		w.used = h.tick
+		if isWrite {
+			w.dirty = true
+		}
+		if kind == Ifetch {
+			st.L1IHits++
+		} else {
+			st.L1DHits++
+		}
+		cost += lat.L1
+		st.CacheHitLatency += lat.L1
+		st.TotalLatency += cost
+		return cost
+	}
+	cost += lat.L1
+
+	st.L2Accesses++
+	l2 := nc.l2[core]
+	if w := l2.lookup(ln); w != nil {
+		w.used = h.tick
+		if isWrite {
+			w.dirty = true
+		}
+		st.L2Hits++
+		cost += lat.L2
+		st.CacheHitLatency += lat.L2
+		h.fillLevel(node, core, l1, ln, isWrite)
+		st.TotalLatency += cost
+		return cost
+	}
+	cost += lat.L2
+
+	l3 := nc.l3
+	if h.cfg.SharedL3 {
+		l3 = h.sharedL3
+	}
+	if l3 != nil {
+		st.L3Accesses++
+		if w := l3.lookup(ln); w != nil {
+			w.used = h.tick
+			if isWrite {
+				w.dirty = true
+			}
+			st.L3Hits++
+			cost += lat.L3
+			st.CacheHitLatency += lat.L3
+			h.fillLevel(node, core, l2, ln, isWrite)
+			h.fillLevel(node, core, l1, ln, isWrite)
+			st.TotalLatency += cost
+			return cost
+		}
+		cost += lat.L3
+	}
+
+	// Memory access.
+	pa := mem.PhysAddr(ln) * mem.LineSize
+	loc := h.layout.Classify(mem.NodeID(node), pa)
+	if loc == mem.Local {
+		st.LocalMemHits++
+		cost += lat.Mem
+		st.LocalMemLatency += lat.Mem
+	} else {
+		st.RemoteMemHits++
+		cost += lat.RemoteMem
+		st.RemoteMemLatency += lat.RemoteMem
+		if r := h.layout.RegionAt(pa); r != nil && r.Owner == mem.NodeNone {
+			st.RemoteSharedHits++
+		}
+	}
+
+	// Fill the whole hierarchy (inclusive).
+	h.fillL3(node, core, l3, ln, isWrite, loc)
+	h.fillLevel(node, core, l2, ln, isWrite)
+	h.fillLevel(node, core, l1, ln, isWrite)
+	st.TotalLatency += cost
+	return cost
+}
+
+// fillLevel inserts a line into an inner level, discarding clean evictions
+// (the line stays in the outer levels by inclusion).
+func (h *Hierarchy) fillLevel(node, core int, l *level, ln lineAddr, dirty bool) {
+	if l == nil {
+		return
+	}
+	_, _, _ = l.insert(ln, h.tick)
+	if dirty {
+		if w := l.lookup(ln); w != nil {
+			w.dirty = true
+		}
+	}
+	_ = node
+	_ = core
+}
+
+// fillL3 inserts into the last level, maintaining inclusion: an evicted
+// valid line is back-invalidated out of the inner levels and, since the node
+// then holds no copy, cleared from the coherence directory.
+func (h *Hierarchy) fillL3(node, core int, l3 *level, ln lineAddr, dirty bool, loc mem.Locality) {
+	st := &h.nodes[node].stats
+	if l3 == nil {
+		// Small configs without an L3 enforce inclusion at L2 instead.
+		evicted, wasValid, wasDirty := h.nodes[node].l2[core].insert(ln, h.tick)
+		if wasValid {
+			h.onLastLevelEvict(node, evicted, wasDirty)
+		}
+		if dirty {
+			if w := h.nodes[node].l2[core].lookup(ln); w != nil {
+				w.dirty = true
+			}
+		}
+		return
+	}
+	evicted, wasValid, wasDirty := l3.insert(ln, h.tick)
+	if dirty {
+		if w := l3.lookup(ln); w != nil {
+			w.dirty = true
+		}
+	}
+	if !wasValid {
+		return
+	}
+	st.EvictionsL3++
+	if h.cfg.SharedL3 {
+		// The shared L3 backs both nodes; evicting drops the line everywhere.
+		for n := 0; n < 2; n++ {
+			h.onLastLevelEvict(n, evicted, wasDirty)
+		}
+		return
+	}
+	h.onLastLevelEvict(node, evicted, wasDirty)
+}
+
+// onLastLevelEvict back-invalidates inner levels and updates the directory
+// after a line fully leaves node's hierarchy.
+func (h *Hierarchy) onLastLevelEvict(node int, ln lineAddr, dirty bool) {
+	nc := h.nodes[node]
+	for c := range nc.l2 {
+		if p, d := nc.l2[c].invalidate(ln); p && d {
+			dirty = true
+		}
+		if p, d := nc.l1d[c].invalidate(ln); p && d {
+			dirty = true
+		}
+		nc.l1i[c].invalidate(ln)
+	}
+	e := h.entry(ln)
+	e.holders[node] = false
+	if e.owner == node {
+		e.owner = -1
+		e.modified = false
+	}
+	if dirty {
+		pa := mem.PhysAddr(ln) * mem.LineSize
+		if h.layout.Classify(mem.NodeID(node), pa) == mem.Remote {
+			nc.stats.WritebacksToRemote++
+		}
+	}
+	if !e.holders[0] && !e.holders[1] {
+		delete(h.dir, ln)
+	}
+}
+
+// invalidateNode removes a line from every level of a node's hierarchy
+// (the receiving side of a Snoop Invalidate).
+func (h *Hierarchy) invalidateNode(node int, ln lineAddr) {
+	nc := h.nodes[node]
+	for c := range nc.l2 {
+		nc.l1i[c].invalidate(ln)
+		nc.l1d[c].invalidate(ln)
+		nc.l2[c].invalidate(ln)
+	}
+	if nc.l3 != nil {
+		nc.l3.invalidate(ln)
+	}
+	// With a shared L3 the line stays resident for the writer; only the
+	// other node's private levels are flushed, which the loop above did.
+}
+
+// HoldsLine reports whether node currently caches the line containing addr
+// according to the coherence directory (used by invariant tests).
+func (h *Hierarchy) HoldsLine(node mem.NodeID, addr mem.PhysAddr) bool {
+	e := h.dir[lineOf(addr)]
+	return e != nil && e.holders[node]
+}
+
+// OwnerOf returns the node holding the line M/E, or -1 if shared/uncached.
+func (h *Hierarchy) OwnerOf(addr mem.PhysAddr) int {
+	e := h.dir[lineOf(addr)]
+	if e == nil {
+		return -1
+	}
+	return e.owner
+}
+
+// Flush empties every cache in the machine (contents only; stats remain).
+func (h *Hierarchy) Flush() {
+	for _, nc := range h.nodes {
+		for c := range nc.l2 {
+			nc.l1i[c].flushAll()
+			nc.l1d[c].flushAll()
+			nc.l2[c].flushAll()
+		}
+		if nc.l3 != nil {
+			nc.l3.flushAll()
+		}
+	}
+	if h.sharedL3 != nil {
+		h.sharedL3.flushAll()
+	}
+	h.dir = make(map[lineAddr]*dirEntry)
+}

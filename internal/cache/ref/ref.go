@@ -1,0 +1,400 @@
+// Package ref is an independent re-implementation of a three-level MESI
+// cache model in the style of gem5's Ruby MESI_Three_Level protocol. It
+// exists purely as validation ground truth for the main cache plugin
+// (Figure 8 of the paper): both models consume the same access trace and
+// their per-level hit rates are compared.
+//
+// The implementation is deliberately structurally different from
+// internal/cache: tree-PLRU replacement instead of true LRU timestamps,
+// per-cache explicit MESI state words instead of a shared directory map,
+// and recursive fill logic instead of a flat lookup chain. Residual
+// hit-rate differences between the two models are therefore genuine
+// modelling differences, exactly what the validation experiment measures.
+package ref
+
+import (
+	"repro/internal/mem"
+)
+
+// Kind mirrors cache.Kind without importing it (the two models must not
+// share code).
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+	Ifetch
+)
+
+// mesi is the per-line protocol state.
+type mesi uint8
+
+const (
+	invalid mesi = iota
+	shared
+	exclusive
+	modified
+)
+
+// plruSet is one set with a tree-PLRU replacement policy over a
+// power-of-two number of ways.
+type plruSet struct {
+	lines []line
+	// bits holds the PLRU tree (ways-1 internal nodes).
+	bits []bool
+}
+
+type line struct {
+	addr  uint64
+	state mesi
+}
+
+func newPLRUSet(ways int) *plruSet {
+	return &plruSet{lines: make([]line, ways), bits: make([]bool, ways-1)}
+}
+
+// touch updates the PLRU tree so that way w becomes most-recently used.
+func (s *plruSet) touch(w int) {
+	ways := len(s.lines)
+	node := 0
+	for span := ways / 2; span >= 1; span /= 2 {
+		right := w%(span*2) >= span
+		// Point the bit away from the accessed way.
+		s.bits[node] = !right
+		if right {
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+	}
+}
+
+// victim walks the PLRU tree to the least-recently used way.
+func (s *plruSet) victim() int {
+	ways := len(s.lines)
+	// Prefer an invalid way.
+	for i := range s.lines {
+		if s.lines[i].state == invalid {
+			return i
+		}
+	}
+	node, w := 0, 0
+	for span := ways / 2; span >= 1; span /= 2 {
+		if s.bits[node] {
+			w += span
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+	}
+	return w
+}
+
+// find returns the way index holding addr, or -1.
+func (s *plruSet) find(addr uint64) int {
+	for i := range s.lines {
+		if s.lines[i].state != invalid && s.lines[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// cacheArray is one level of one node/core.
+type cacheArray struct {
+	sets []*plruSet
+	mask uint64
+}
+
+func newCacheArray(sizeBytes, ways int) *cacheArray {
+	if sizeBytes == 0 {
+		return nil
+	}
+	n := sizeBytes / (ways * mem.LineSize)
+	c := &cacheArray{sets: make([]*plruSet, n), mask: uint64(n - 1)}
+	for i := range c.sets {
+		c.sets[i] = newPLRUSet(ways)
+	}
+	return c
+}
+
+func (c *cacheArray) set(addr uint64) *plruSet { return c.sets[addr&c.mask] }
+
+// probe returns the line state for addr (invalid if absent) and touches
+// PLRU on hit.
+func (c *cacheArray) probe(addr uint64) mesi {
+	if c == nil {
+		return invalid
+	}
+	s := c.set(addr)
+	if w := s.find(addr); w >= 0 {
+		s.touch(w)
+		return s.lines[w].state
+	}
+	return invalid
+}
+
+// fill installs addr with the given state, returning the evicted line
+// address (valid flag false if none).
+func (c *cacheArray) fill(addr uint64, st mesi) (evicted uint64, hadVictim bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := c.set(addr)
+	if w := s.find(addr); w >= 0 {
+		s.lines[w].state = st
+		s.touch(w)
+		return 0, false
+	}
+	w := s.victim()
+	evicted, hadVictim = s.lines[w].addr, s.lines[w].state != invalid
+	s.lines[w] = line{addr: addr, state: st}
+	s.touch(w)
+	return evicted, hadVictim
+}
+
+// drop invalidates addr if present.
+func (c *cacheArray) drop(addr uint64) bool {
+	if c == nil {
+		return false
+	}
+	s := c.set(addr)
+	if w := s.find(addr); w >= 0 {
+		s.lines[w].state = invalid
+		return true
+	}
+	return false
+}
+
+// setState updates addr's state if present.
+func (c *cacheArray) setState(addr uint64, st mesi) {
+	if c == nil {
+		return
+	}
+	s := c.set(addr)
+	if w := s.find(addr); w >= 0 {
+		s.lines[w].state = st
+	}
+}
+
+// Stats holds per-level hit/access counters for one node.
+type Stats struct {
+	L1IAccesses, L1IHits int64
+	L1DAccesses, L1DHits int64
+	L2Accesses, L2Hits   int64
+	L3Accesses, L3Hits   int64
+}
+
+// Config sizes the reference model; it mirrors the geometry of the cache
+// plugin under validation.
+type Config struct {
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	L3Size, L3Ways   int
+	Cores            int
+}
+
+type nodeModel struct {
+	l1i, l1d, l2 []*cacheArray
+	l3           *cacheArray
+	stats        Stats
+}
+
+// Model is the two-node reference memory system.
+type Model struct {
+	nodes [2]*nodeModel
+}
+
+// NewModel builds the reference model with identical geometry on both nodes.
+func NewModel(cfg Config) *Model {
+	m := &Model{}
+	for n := 0; n < 2; n++ {
+		nm := &nodeModel{}
+		for c := 0; c < cfg.Cores; c++ {
+			nm.l1i = append(nm.l1i, newCacheArray(cfg.L1ISize, cfg.L1IWays))
+			nm.l1d = append(nm.l1d, newCacheArray(cfg.L1DSize, cfg.L1DWays))
+			nm.l2 = append(nm.l2, newCacheArray(cfg.L2Size, cfg.L2Ways))
+		}
+		nm.l3 = newCacheArray(cfg.L3Size, cfg.L3Ways)
+		m.nodes[n] = nm
+	}
+	return m
+}
+
+// Stats returns node n's counters.
+func (m *Model) Stats(n mem.NodeID) Stats { return m.nodes[n].stats }
+
+// Access pushes one reference through the model.
+func (m *Model) Access(node mem.NodeID, core int, kind Kind, addr mem.PhysAddr, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := uint64(addr) / mem.LineSize
+	last := (uint64(addr) + uint64(size) - 1) / mem.LineSize
+	for ln := first; ln <= last; ln++ {
+		m.accessLine(int(node), core, kind, ln)
+	}
+}
+
+func (m *Model) accessLine(node, core int, kind Kind, ln uint64) {
+	nm := m.nodes[node]
+	other := m.nodes[1-node]
+	st := &nm.stats
+	isWrite := kind == Write
+
+	// Ruby-style coherence: a store invalidates remote sharers; a load
+	// downgrades a remote owner to shared.
+	if isWrite {
+		m.invalidateAll(other, ln)
+	} else if m.holdsExclusive(other, ln) {
+		m.downgradeAll(other, ln)
+	}
+
+	want := shared
+	if isWrite {
+		want = modified
+	}
+
+	l1 := nm.l1d[core]
+	if kind == Ifetch {
+		l1 = nm.l1i[core]
+		st.L1IAccesses++
+	} else {
+		st.L1DAccesses++
+	}
+	if s := l1.probe(ln); s != invalid {
+		if kind == Ifetch {
+			st.L1IHits++
+		} else {
+			st.L1DHits++
+		}
+		if isWrite {
+			l1.setState(ln, modified)
+			nm.l2[core].setState(ln, modified)
+			nm.l3.setState(ln, modified)
+		}
+		return
+	}
+
+	st.L2Accesses++
+	if s := nm.l2[core].probe(ln); s != invalid {
+		st.L2Hits++
+		m.fillInner(nm, core, l1, ln, want)
+		if isWrite {
+			nm.l2[core].setState(ln, modified)
+			nm.l3.setState(ln, modified)
+		}
+		return
+	}
+
+	if nm.l3 != nil {
+		st.L3Accesses++
+		if s := nm.l3.probe(ln); s != invalid {
+			st.L3Hits++
+			m.fillMid(nm, core, ln, want)
+			m.fillInner(nm, core, l1, ln, want)
+			if isWrite {
+				nm.l3.setState(ln, modified)
+			}
+			return
+		}
+	}
+
+	// Memory fill: choose E for private loads, M for stores.
+	fillState := exclusive
+	if isWrite {
+		fillState = modified
+	} else if m.holdsAny(other, ln) {
+		fillState = shared
+	}
+	if nm.l3 != nil {
+		if ev, had := nm.l3.fill(ln, fillState); had {
+			// Inclusive LLC: back-invalidate inner copies.
+			for c := range nm.l2 {
+				nm.l2[c].drop(ev)
+				nm.l1d[c].drop(ev)
+				nm.l1i[c].drop(ev)
+			}
+		}
+	}
+	m.fillMid(nm, core, ln, want)
+	m.fillInner(nm, core, l1, ln, want)
+}
+
+func (m *Model) fillMid(nm *nodeModel, core int, ln uint64, st mesi) {
+	if ev, had := nm.l2[core].fill(ln, st); had {
+		nm.l1d[core].drop(ev)
+		nm.l1i[core].drop(ev)
+	}
+}
+
+func (m *Model) fillInner(nm *nodeModel, core int, l1 *cacheArray, ln uint64, st mesi) {
+	l1.fill(ln, st)
+}
+
+func (m *Model) invalidateAll(nm *nodeModel, ln uint64) {
+	for c := range nm.l2 {
+		nm.l1i[c].drop(ln)
+		nm.l1d[c].drop(ln)
+		nm.l2[c].drop(ln)
+	}
+	if nm.l3 != nil {
+		nm.l3.drop(ln)
+	}
+}
+
+func (m *Model) downgradeAll(nm *nodeModel, ln uint64) {
+	for c := range nm.l2 {
+		nm.l1i[c].setState(ln, shared)
+		nm.l1d[c].setState(ln, shared)
+		nm.l2[c].setState(ln, shared)
+	}
+	if nm.l3 != nil {
+		nm.l3.setState(ln, shared)
+	}
+}
+
+func (m *Model) holdsExclusive(nm *nodeModel, ln uint64) bool {
+	if nm.l3 != nil {
+		if s := stateNoTouch(nm.l3, ln); s == exclusive || s == modified {
+			return true
+		}
+	}
+	for c := range nm.l2 {
+		if s := stateNoTouch(nm.l2[c], ln); s == exclusive || s == modified {
+			return true
+		}
+		if s := stateNoTouch(nm.l1d[c], ln); s == exclusive || s == modified {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) holdsAny(nm *nodeModel, ln uint64) bool {
+	if nm.l3 != nil && stateNoTouch(nm.l3, ln) != invalid {
+		return true
+	}
+	for c := range nm.l2 {
+		if stateNoTouch(nm.l2[c], ln) != invalid ||
+			stateNoTouch(nm.l1d[c], ln) != invalid ||
+			stateNoTouch(nm.l1i[c], ln) != invalid {
+			return true
+		}
+	}
+	return false
+}
+
+// stateNoTouch probes without updating replacement state (coherence lookups
+// must not disturb PLRU).
+func stateNoTouch(c *cacheArray, ln uint64) mesi {
+	if c == nil {
+		return invalid
+	}
+	s := c.set(ln)
+	if w := s.find(ln); w >= 0 {
+		return s.lines[w].state
+	}
+	return invalid
+}

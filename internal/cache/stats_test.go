@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestWritebackToRemoteCounted(t *testing.T) {
+	// Dirty a remote line, then evict it through L3 pressure: the
+	// write-back must be counted as remote.
+	layout := mem.DefaultLayout(mem.Separated)
+	cfg := DefaultConfig(mem.Separated)
+	cfg.Nodes[0].L3 = LevelConfig{Size: 8 * 1024, Ways: 2}
+	cfg.Nodes[0].L2 = LevelConfig{Size: 4 * 1024, Ways: 2}
+	cfg.Nodes[0].L1D = LevelConfig{Size: 2 * 1024, Ways: 2}
+	cfg.Nodes[0].L1I = LevelConfig{Size: 2 * 1024, Ways: 2}
+	h := NewHierarchy(cfg, &layout)
+
+	armLocal := mem.PhysAddr(6 << 30) // remote for x86
+	h.Access(mem.NodeX86, 0, Write, armLocal, 8)
+
+	// Flood the same L3 set to evict the dirty remote line.
+	sets := cfg.Nodes[0].L3.Sets()
+	stride := mem.PhysAddr(sets * mem.LineSize)
+	for i := 1; i <= 4; i++ {
+		h.Access(mem.NodeX86, 0, Read, armLocal+mem.PhysAddr(i)*stride, 8)
+	}
+	if st := h.Stats(mem.NodeX86); st.WritebacksToRemote == 0 {
+		t.Errorf("dirty remote eviction not counted: %+v", st)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	h := newTestHierarchy(mem.Separated)
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	st := h.Stats(mem.NodeX86)
+	lat := XeonGoldLatencies()
+	want := lat.L1 + lat.L2 + lat.L3 + lat.Mem
+	if st.TotalLatency != want {
+		t.Errorf("TotalLatency = %d, want %d", st.TotalLatency, want)
+	}
+	if st.LocalMemLatency != lat.Mem {
+		t.Errorf("LocalMemLatency = %d", st.LocalMemLatency)
+	}
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	st = h.Stats(mem.NodeX86)
+	if st.CacheHitLatency != lat.L1 {
+		t.Errorf("CacheHitLatency = %d, want %d", st.CacheHitLatency, lat.L1)
+	}
+}
+
+func TestCoherenceLatencyCharged(t *testing.T) {
+	h := newTestHierarchy(mem.Shared)
+	addr := mem.PhysAddr(5 << 30)
+	h.Access(mem.NodeArm, 0, Read, addr, 8)
+	h.Access(mem.NodeX86, 0, Write, addr, 8)
+	st := h.Stats(mem.NodeX86)
+	if st.CoherenceLatency != DefaultSnoopCosts().Invalidate {
+		t.Errorf("CoherenceLatency = %d, want %d", st.CoherenceLatency, DefaultSnoopCosts().Invalidate)
+	}
+}
+
+func TestFullySharedUsesOnChipSnoopCosts(t *testing.T) {
+	cfg := DefaultConfig(mem.FullyShared)
+	if !cfg.SharedL3 {
+		t.Error("FullyShared config lacks shared L3")
+	}
+	if cfg.CrossNode != OnChipSnoopCosts() {
+		t.Errorf("FullyShared cross-node snoop = %+v, want on-chip costs", cfg.CrossNode)
+	}
+	cfgShared := DefaultConfig(mem.Shared)
+	if cfgShared.CrossNode != DefaultSnoopCosts() {
+		t.Errorf("Shared cross-node snoop = %+v, want CXL costs", cfgShared.CrossNode)
+	}
+}
+
+func TestTapObservesEveryAccess(t *testing.T) {
+	h := newTestHierarchy(mem.Separated)
+	var seen int
+	h.Tap = func(node mem.NodeID, core int, kind Kind, addr mem.PhysAddr, size int) {
+		seen++
+	}
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	h.Access(mem.NodeArm, 0, Write, 0x2000, 8)
+	h.Access(mem.NodeX86, 0, Ifetch, 0x3000, 4)
+	if seen != 3 {
+		t.Errorf("tap saw %d accesses, want 3", seen)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Ifetch.String() != "ifetch" {
+		t.Error("kind names wrong")
+	}
+}

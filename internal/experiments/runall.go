@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hwref"
+)
+
+// Spec names one experiment and how to run it.
+type Spec struct {
+	ID  string
+	Run func(Scale) (Result, error)
+}
+
+// All returns every table/figure runner in paper order.
+func All() []Spec {
+	return []Spec{
+		{"table2", func(Scale) (Result, error) { return Table2(), nil }},
+		{"fig5-6-small", func(Scale) (Result, error) { return Figure5_6(hwref.SmallPair()) }},
+		{"fig5-6-big", func(Scale) (Result, error) { return Figure5_6(hwref.BigPair()) }},
+		{"fig7-small", func(s Scale) (Result, error) { return Figure7(hwref.SmallPair(), s) }},
+		{"fig7-big", func(s Scale) (Result, error) { return Figure7(hwref.BigPair(), s) }},
+		{"fig8", func(s Scale) (Result, error) { return Figure8(s) }},
+		{"table3", func(s Scale) (Result, error) { return Table3(s) }},
+		{"table4", func(s Scale) (Result, error) { return Table4(s) }},
+		{"fig9", func(s Scale) (Result, error) { return Figure9(s) }},
+		{"fig10", func(s Scale) (Result, error) { return Figure10(s) }},
+		{"fig11", func(s Scale) (Result, error) { return Figure11(s) }},
+		{"fig12", func(s Scale) (Result, error) { return Figure12(s) }},
+		{"fig13", func(s Scale) (Result, error) { return Figure13(s) }},
+		{"fig14", func(s Scale) (Result, error) { return Figure14(s) }},
+		{"ablation-remote-alloc", func(s Scale) (Result, error) { return AblationRemoteAlloc(s) }},
+		{"ablation-ipi", func(s Scale) (Result, error) { return AblationIPI(s) }},
+	}
+}
+
+// Find returns the spec with the given id.
+func Find(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// RunAndReport executes one spec and writes its rendering plus shape-check
+// outcome to w, returning the result and any shape errors.
+func RunAndReport(w io.Writer, spec Spec, scale Scale) (Result, []string, error) {
+	res, err := spec.Run(scale)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s: %w", spec.ID, err)
+	}
+	fmt.Fprintf(w, "== %s ==\n", res.Name())
+	fmt.Fprint(w, res.Render())
+	shape := res.ShapeErrors()
+	if len(shape) == 0 {
+		fmt.Fprintf(w, "shape: REPRODUCED\n\n")
+	} else {
+		fmt.Fprintf(w, "shape: %d DEVIATION(S)\n", len(shape))
+		for _, e := range shape {
+			fmt.Fprintf(w, "  - %s\n", e)
+		}
+		fmt.Fprintln(w)
+	}
+	return res, shape, nil
+}

@@ -1,0 +1,197 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// runOn spawns a single simulated thread on node/core, runs body, and
+// returns the thread's final clock.
+func runOn(t *testing.T, plat *Platform, node mem.NodeID, body func(pt *Port)) sim.Cycles {
+	t.Helper()
+	var end sim.Cycles
+	plat.Engine.Spawn("test", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(node, 0, th)
+		body(pt)
+		end = th.Now()
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestPortReadWriteMovesData(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	data := []byte("fused-kernel")
+	runOn(t, plat, mem.NodeX86, func(pt *Port) {
+		pt.Write(0x1000, data)
+		if got := pt.Read(0x1000, len(data)); !bytes.Equal(got, data) {
+			t.Errorf("Read = %q, want %q", got, data)
+		}
+	})
+}
+
+func TestPortChargesCacheLatency(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	end := runOn(t, plat, mem.NodeX86, func(pt *Port) {
+		pt.Read64(0x1000) // cold: L1+L2+L3+mem = 4+14+50+300
+		pt.Read64(0x1000) // warm: 4
+	})
+	if end != 372 {
+		t.Errorf("total cycles = %d, want 372", end)
+	}
+}
+
+func TestPortRemoteCostsMore(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	local := runOn(t, plat, mem.NodeX86, func(pt *Port) { pt.Read64(0x1000) })
+	plat2 := NewPlatform(DefaultConfig(mem.Separated))
+	remote := runOn(t, plat2, mem.NodeX86, func(pt *Port) { pt.Read64(mem.PhysAddr(6 << 30)) })
+	if remote <= local {
+		t.Errorf("remote access (%d) not more expensive than local (%d)", remote, local)
+	}
+}
+
+func TestCopyPageMovesDataAndCharges(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	end := runOn(t, plat, mem.NodeX86, func(pt *Port) {
+		payload := make([]byte, mem.PageSize)
+		for i := range payload {
+			payload[i] = byte(i % 251)
+		}
+		pt.Write(0x4000, payload)
+		pt.CopyPage(0x8000, 0x4000)
+		if !plat.Phys.SamePage(0x8000, 0x4000) {
+			t.Error("CopyPage did not copy")
+		}
+	})
+	// 64 lines read + 64 lines written + the original write: must be
+	// thousands of cycles, not a token constant.
+	if end < 5000 {
+		t.Errorf("page copy suspiciously cheap: %d cycles", end)
+	}
+}
+
+func TestCASAtomicity(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Shared))
+	const addr = mem.PhysAddr(5 << 30)
+	const iters = 200
+	for n := 0; n < 2; n++ {
+		node := mem.NodeID(n)
+		plat.Engine.Spawn(node.String(), 0, func(th *sim.Thread) {
+			pt := plat.NewPort(node, 0, th)
+			for i := 0; i < iters; i++ {
+				for {
+					old := pt.Read64(addr)
+					if _, ok := pt.CompareAndSwap64(addr, old, old+1); ok {
+						break
+					}
+				}
+			}
+		})
+	}
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := plat.Phys.Read64(addr); got != 2*iters {
+		t.Errorf("CAS-incremented counter = %d, want %d", got, 2*iters)
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Shared))
+	const addr = mem.PhysAddr(5 << 30)
+	for n := 0; n < 2; n++ {
+		node := mem.NodeID(n)
+		plat.Engine.Spawn(node.String(), 0, func(th *sim.Thread) {
+			pt := plat.NewPort(node, 0, th)
+			for i := 0; i < 100; i++ {
+				pt.AtomicAdd64(addr, 1)
+			}
+		})
+	}
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := plat.Phys.Read64(addr); got != 200 {
+		t.Errorf("atomic counter = %d, want 200", got)
+	}
+}
+
+func TestIPIDeliveryLatency(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	var arrived sim.Cycles
+	plat.RegisterIPIHandler(mem.NodeArm, 0, func(when sim.Cycles) { arrived = when })
+	plat.Engine.Spawn("sender", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		_ = pt
+		plat.SendIPI(th, mem.NodeArm, 0)
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 µs at the Arm node's 2 GHz = 4000 cycles + 100 send cost.
+	if arrived != 4100 {
+		t.Errorf("IPI arrival = %d, want 4100", arrived)
+	}
+	if plat.IPICount(mem.NodeArm) != 1 {
+		t.Errorf("IPI count = %d", plat.IPICount(mem.NodeArm))
+	}
+}
+
+func TestIPIWithoutHandlerIsAbsorbed(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	plat.Engine.Spawn("sender", 0, func(th *sim.Thread) {
+		plat.SendIPI(th, mem.NodeArm, 3)
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesOneCyclePerInstruction(t *testing.T) {
+	plat := NewPlatform(DefaultConfig(mem.Separated))
+	end := runOn(t, plat, mem.NodeX86, func(pt *Port) {
+		w := NewCodeWindow(0x100000, 1024)
+		pt.Compute(1000, w)
+	})
+	// 1000 instructions at IPC 1 plus ifetch costs; the loop footprint is
+	// 1 KiB = 16 lines, so after the cold fetches everything hits L1I.
+	if end < 1000 || end > 1000+16*400+1000 {
+		t.Errorf("1000 instructions took %d cycles", end)
+	}
+	st := plat.Caches.Stats(mem.NodeX86)
+	if st.L1IAccesses == 0 {
+		t.Error("Compute issued no instruction fetches")
+	}
+	if st.MemAccesses != 0 {
+		t.Error("Compute counted as data access")
+	}
+}
+
+func TestCodeWindowWraps(t *testing.T) {
+	w := NewCodeWindow(0x1000, 128) // 2 lines
+	a := w.next()
+	b := w.next()
+	c := w.next()
+	if a != 0x1000 || b != 0x1040 || c != 0x1000 {
+		t.Errorf("window walk = %#x %#x %#x", a, b, c)
+	}
+}
+
+func TestClockDefaults(t *testing.T) {
+	plat := NewPlatform(Config{Model: mem.Separated, Cache: DefaultConfig(mem.Separated).Cache})
+	if plat.Clock(mem.NodeX86).Hz != 2_100_000_000 {
+		t.Error("x86 clock default wrong")
+	}
+	if plat.Clock(mem.NodeArm).Hz != 2_000_000_000 {
+		t.Error("arm clock default wrong")
+	}
+	if plat.Cfg.IPIMicros != 2.0 {
+		t.Error("IPI default wrong")
+	}
+}

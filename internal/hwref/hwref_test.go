@@ -1,0 +1,146 @@
+package hwref
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+func TestIPIMatrixShapes(t *testing.T) {
+	for _, p := range []Pair{SmallPair(), BigPair()} {
+		for side := 0; side < 2; side++ {
+			s, err := MeasureIPI(p, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := p.TotalThreads(side)
+			if len(s) != n*n-n {
+				t.Errorf("%s side %d: %d samples, want %d", p.Name, side, len(s), n*n-n)
+			}
+		}
+	}
+	if _, err := MeasureIPI(BigPair(), 2); err == nil {
+		t.Error("bad side accepted")
+	}
+}
+
+func TestIPIAverageNearTwoMicrosOnBigPairs(t *testing.T) {
+	// §9.1.1: "The average IPI latency is about 2 µs in large machine
+	// pairs, and we have used this value as our simulated cross-ISA cost."
+	p := BigPair()
+	for side := 0; side < 2; side++ {
+		s, _ := MeasureIPI(p, side)
+		st := Summarize(s)
+		if st.MeanMicros < 1.5 || st.MeanMicros > 2.6 {
+			t.Errorf("big side %d mean IPI = %.2f µs, want ≈ 2", side, st.MeanMicros)
+		}
+		if st.MinMicros <= 0 || st.MaxMicros <= st.MinMicros {
+			t.Errorf("degenerate stats %+v", st)
+		}
+	}
+}
+
+func TestIPITopologyOrdering(t *testing.T) {
+	// SMT siblings must be faster than same-socket, which must be faster
+	// than cross-socket, on average.
+	p := BigPair()
+	s, _ := MeasureIPI(p, 0)
+	tps := p.CoresPer[0] * p.SMT[0]
+	var sums [3]float64
+	var counts [3]int
+	for _, x := range s {
+		switch {
+		case x.From/p.SMT[0] == x.To/p.SMT[0]:
+			sums[0] += x.Micros
+			counts[0]++
+		case x.From/tps == x.To/tps:
+			sums[1] += x.Micros
+			counts[1]++
+		default:
+			sums[2] += x.Micros
+			counts[2]++
+		}
+	}
+	m0, m1, m2 := sums[0]/float64(counts[0]), sums[1]/float64(counts[1]), sums[2]/float64(counts[2])
+	if !(m0 < m1 && m1 < m2) {
+		t.Errorf("topology means %.2f/%.2f/%.2f not increasing", m0, m1, m2)
+	}
+}
+
+func TestIPIDeterminism(t *testing.T) {
+	a, _ := MeasureIPI(SmallPair(), 1)
+	b, _ := MeasureIPI(SmallPair(), 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("IPI measurement not deterministic")
+		}
+	}
+}
+
+func TestNativeVsSimulatorMachines(t *testing.T) {
+	// The native machine (CPI != 1) must take a different amount of time
+	// for the same compute-bound work than the simulator model (CPI = 1).
+	run := func(m *machine.Machine) int64 {
+		res, err := m.RunSingle("w", mem.NodeX86, func(task *kernel.Task) error {
+			base, err := task.Proc.Mmap(4096, kernel.VMARead|kernel.VMAWrite, "d")
+			if err != nil {
+				return err
+			}
+			if err := task.Store(base, 8, 1); err != nil {
+				return err
+			}
+			task.Compute(100000)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Elapsed())
+	}
+	p := BigPair()
+	nm, err := NativeMachine(p, machine.VanillaOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := SimulatorMachine(p, machine.VanillaOS, mem.Separated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, simc := run(nm), run(sm)
+	if nat == simc {
+		t.Errorf("native (%d) and simulator (%d) identical; CPI model not applied", nat, simc)
+	}
+	// The x86 native CPI is 0.88 < 1, so native should be faster here.
+	if nat >= simc {
+		t.Errorf("native (%d) not faster than simulator (%d) at CPI 0.88", nat, simc)
+	}
+}
+
+func TestSmallPairArmHasNoL3(t *testing.T) {
+	p := SmallPair()
+	m, err := NativeMachine(p, machine.VanillaOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunSingle("w", mem.NodeArm, func(task *kernel.Task) error {
+		base, err := task.Proc.Mmap(1<<20, kernel.VMARead|kernel.VMAWrite, "d")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 256; i++ {
+			if err := task.Store(base+pgtable.VirtAddr(i*64), 8, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.CacheStats(mem.NodeArm); st.L3Accesses != 0 {
+		t.Errorf("A72 node recorded %d L3 accesses; it has no L3", st.L3Accesses)
+	}
+}

@@ -1,0 +1,252 @@
+package interconnect
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// withThread runs body on a fresh platform inside one simulated thread.
+func withThread(t *testing.T, model mem.Model, body func(plat *hw.Platform, pt *hw.Port)) sim.Cycles {
+	t.Helper()
+	plat := hw.NewPlatform(hw.DefaultConfig(model))
+	var end sim.Cycles
+	plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		body(plat, pt)
+		end = th.Now()
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestRingFIFO(t *testing.T) {
+	withThread(t, mem.Separated, func(plat *hw.Platform, pt *hw.Port) {
+		r := NewRing(pt, 0x10000, 8, 128)
+		msgs := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+		for _, m := range msgs {
+			if !r.Send(pt, m) {
+				t.Fatal("Send failed on non-full ring")
+			}
+		}
+		for _, want := range msgs {
+			got, ok := r.Recv(pt)
+			if !ok || !bytes.Equal(got, want) {
+				t.Errorf("Recv = %q,%v want %q", got, ok, want)
+			}
+		}
+		if _, ok := r.Recv(pt); ok {
+			t.Error("Recv on empty ring returned a message")
+		}
+	})
+}
+
+func TestRingFullAndWrap(t *testing.T) {
+	withThread(t, mem.Separated, func(plat *hw.Platform, pt *hw.Port) {
+		r := NewRing(pt, 0x10000, 4, 64)
+		for i := 0; i < 4; i++ {
+			if !r.Send(pt, []byte{byte(i)}) {
+				t.Fatalf("Send %d failed", i)
+			}
+		}
+		if r.Send(pt, []byte{99}) {
+			t.Error("Send succeeded on full ring")
+		}
+		if !r.Full(pt) {
+			t.Error("Full = false on full ring")
+		}
+		// Drain one, send one: wraparound.
+		if got, ok := r.Recv(pt); !ok || got[0] != 0 {
+			t.Fatalf("Recv = %v %v", got, ok)
+		}
+		if !r.Send(pt, []byte{4}) {
+			t.Error("Send failed after drain")
+		}
+		want := []byte{1, 2, 3, 4}
+		for _, w := range want {
+			got, ok := r.Recv(pt)
+			if !ok || got[0] != w {
+				t.Errorf("Recv = %v,%v want %d", got, ok, w)
+			}
+		}
+		if !r.Empty(pt) {
+			t.Error("ring not empty after drain")
+		}
+	})
+}
+
+func TestRingPayloadIntegrityProperty(t *testing.T) {
+	withThread(t, mem.Separated, func(plat *hw.Platform, pt *hw.Port) {
+		r := NewRing(pt, 0x20000, 16, 256)
+		f := func(payloads [][]byte) bool {
+			var sent [][]byte
+			for _, p := range payloads {
+				if len(p) > r.MaxPayload() {
+					p = p[:r.MaxPayload()]
+				}
+				if r.Send(pt, p) {
+					sent = append(sent, p)
+				}
+			}
+			for _, want := range sent {
+				got, ok := r.Recv(pt)
+				if !ok || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+			_, ok := r.Recv(pt)
+			return !ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestRingGeometryPanics(t *testing.T) {
+	withThread(t, mem.Separated, func(plat *hw.Platform, pt *hw.Port) {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad geometry accepted")
+			}
+		}()
+		NewRing(pt, 0, 1, 64)
+	})
+}
+
+func TestMessengerSHMDelivery(t *testing.T) {
+	plat := hw.NewPlatform(hw.DefaultConfig(mem.Shared))
+	plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+		x86 := plat.NewPort(mem.NodeX86, 0, th)
+		arm := plat.NewPort(mem.NodeArm, 0, th)
+		msgBase := plat.Layout().SharedRegions()[0].Start
+		m := NewMessenger(DefaultConfig(SHM, msgBase), plat, x86)
+
+		m.Send(x86, []byte("page-request"))
+		got, ok := m.Recv(arm)
+		if !ok || string(got) != "page-request" {
+			t.Errorf("Recv = %q,%v", got, ok)
+		}
+		st := m.Stats()
+		if st.MessagesSent[mem.NodeX86] != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		if plat.IPICount(mem.NodeArm) != 1 {
+			t.Error("SHM send did not raise an IPI")
+		}
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerSHMFragmentsLargePayload(t *testing.T) {
+	plat := hw.NewPlatform(hw.DefaultConfig(mem.Shared))
+	plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+		x86 := plat.NewPort(mem.NodeX86, 0, th)
+		arm := plat.NewPort(mem.NodeArm, 0, th)
+		msgBase := plat.Layout().SharedRegions()[0].Start
+		m := NewMessenger(DefaultConfig(SHM, msgBase), plat, x86)
+
+		big := make([]byte, 3*4096+123)
+		for i := range big {
+			big[i] = byte(i * 31)
+		}
+		m.Send(x86, big)
+		got := m.RecvAll(arm, len(big))
+		if !bytes.Equal(got, big) {
+			t.Error("fragmented payload corrupted")
+		}
+		if m.Stats().Fragments[mem.NodeX86] == 0 {
+			t.Error("no fragments recorded for multi-slot payload")
+		}
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerTCPLatencyDominates(t *testing.T) {
+	// The same small RPC must cost vastly more over TCP than over SHM —
+	// that is the whole premise of the SHM baseline (§8.2).
+	cost := func(mode Mode) sim.Cycles {
+		plat := hw.NewPlatform(hw.DefaultConfig(mem.FullyShared))
+		var end sim.Cycles
+		plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+			pt := plat.NewPort(mem.NodeX86, 0, th)
+			m := NewMessenger(DefaultConfig(mode, 0x100000), plat, pt)
+			m.RPC(pt, func(remote *hw.Port, req []byte) []byte {
+				return []byte("pong")
+			}, []byte("ping"))
+			end = th.Now()
+		})
+		if err := plat.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	shm, tcp := cost(SHM), cost(TCP)
+	if tcp < 10*shm {
+		t.Errorf("TCP RPC (%d cy) not ≫ SHM RPC (%d cy)", tcp, shm)
+	}
+	// TCP round trip must be at least the configured 75 µs at 2.1 GHz.
+	if tcp < 75*2100/2*2 {
+		t.Errorf("TCP RPC %d cycles below wire latency", tcp)
+	}
+}
+
+func TestMessengerRPCRoundTrip(t *testing.T) {
+	plat := hw.NewPlatform(hw.DefaultConfig(mem.Shared))
+	plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		msgBase := plat.Layout().SharedRegions()[0].Start
+		m := NewMessenger(DefaultConfig(SHM, msgBase), plat, pt)
+
+		resp := m.RPC(pt, func(remote *hw.Port, req []byte) []byte {
+			if remote.Node != mem.NodeArm {
+				t.Errorf("handler ran on %v, want arm", remote.Node)
+			}
+			return append([]byte("ack:"), req...)
+		}, []byte("alloc-page"))
+		if string(resp) != "ack:alloc-page" {
+			t.Errorf("RPC resp = %q", resp)
+		}
+		if m.Stats().TotalMessages() != 2 {
+			t.Errorf("RPC message count = %d, want 2", m.Stats().TotalMessages())
+		}
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerRecvEmpty(t *testing.T) {
+	plat := hw.NewPlatform(hw.DefaultConfig(mem.Shared))
+	plat.Engine.Spawn("main", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		msgBase := plat.Layout().SharedRegions()[0].Start
+		m := NewMessenger(DefaultConfig(SHM, msgBase), plat, pt)
+		if _, ok := m.Recv(pt); ok {
+			t.Error("Recv on empty messenger returned a message")
+		}
+		mt := NewMessenger(DefaultConfig(TCP, 0), plat, pt)
+		if _, ok := mt.Recv(pt); ok {
+			t.Error("TCP Recv on empty messenger returned a message")
+		}
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SHM.String() != "SHM" || TCP.String() != "TCP" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,341 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SARM opcodes. Every instruction is exactly 4 bytes:
+// [op, a, b, c] with per-opcode operand meanings, echoing AArch64's
+// fixed-length RISC encoding. 64-bit immediates are built with MOVZ/MOVK
+// sequences exactly as an AArch64 compiler would emit them.
+const (
+	aMOVZ0  = 0x01 // rd, imm16 (bytes b,c) << 0
+	aMOVZ16 = 0x02
+	aMOVZ32 = 0x03
+	aMOVZ48 = 0x04
+	aMOVK0  = 0x05 // keep other bits
+	aMOVK16 = 0x06
+	aMOVK32 = 0x07
+	aMOVK48 = 0x08
+	aADD    = 0x10 // rd, rn, rm
+	aSUB    = 0x11
+	aMUL    = 0x12
+	aAND    = 0x13
+	aORR    = 0x14
+	aEOR    = 0x15
+	aLSL    = 0x16 // rd, rn, imm6 in c
+	aLSR    = 0x17
+	aADDI   = 0x18 // rd, rn, imm8 in c
+	aSUBI   = 0x19
+	aSUBS   = 0x1A // rd, rn, rm; sets N,Z
+	aCMP    = 0x1B // rn, rm (a unused) -> N,Z
+	aMOVr   = 0x1C // rd, rn
+	aB      = 0x20 // signed 24-bit word offset in a,b,c
+	aBEQ    = 0x21
+	aBNE    = 0x22
+	aBLT    = 0x23
+	aBGE    = 0x24
+	aLDR    = 0x28 // rd, [rn, imm8*8]
+	aSTR    = 0x29 // rs, [rn, imm8*8]
+	aLDRB   = 0x2A // rd, [rn, imm8] byte
+	aSTRB   = 0x2B
+	aLDXR   = 0x2C // rd, [rn]: load exclusive
+	aSTXR   = 0x2D // rstatus, rs, [rn]: store exclusive
+	aCASA   = 0x2E // rd, rs, [rn]: LSE CAS (rd: expected in, old out)
+	aBL     = 0x30 // branch with link (X30)
+	aRET    = 0x31
+	aMIGR   = 0x3E // a = migration point id
+	aHLT    = 0x3F
+	aNOP    = 0x40
+)
+
+// SARM register conventions: X0 return/first arg, X30 link register,
+// register 31 addresses SP in this simplified encoding.
+const (
+	ArmX0 = 0
+	ArmLR = 30
+	ArmSP = 31
+	// ArmNumRegs is the number of addressable registers (X0..X30 + SP).
+	ArmNumRegs = 32
+)
+
+// ArmCPU is one SARM hardware context.
+type ArmCPU struct {
+	Regs [ArmNumRegs]uint64
+	pc   uint64
+	N, Z bool
+	// Exclusive monitor state for LL/SC.
+	exAddr  uint64
+	exValid bool
+	halted  bool
+	icount  int64
+}
+
+// NewArmCPU returns a context with pc at entry and SP set.
+func NewArmCPU(entry, sp uint64) *ArmCPU {
+	c := &ArmCPU{pc: entry}
+	c.Regs[ArmSP] = sp
+	return c
+}
+
+// Arch implements CPU.
+func (c *ArmCPU) Arch() Arch { return Arm64 }
+
+// Halted implements CPU.
+func (c *ArmCPU) Halted() bool { return c.halted }
+
+// PC implements CPU.
+func (c *ArmCPU) PC() uint64 { return c.pc }
+
+// SetPC implements CPU.
+func (c *ArmCPU) SetPC(v uint64) { c.pc = v; c.halted = false }
+
+// Reg implements CPU.
+func (c *ArmCPU) Reg(i int) uint64 { return c.Regs[i] }
+
+// SetReg implements CPU.
+func (c *ArmCPU) SetReg(i int, v uint64) { c.Regs[i] = v }
+
+// NumRegs implements CPU.
+func (c *ArmCPU) NumRegs() int { return ArmNumRegs }
+
+// InstrCount implements CPU.
+func (c *ArmCPU) InstrCount() int64 { return c.icount }
+
+func (c *ArmCPU) fault(why string) error {
+	return &DecodeError{Arch: Arm64, PC: c.pc, Why: why}
+}
+
+// Step implements CPU.
+func (c *ArmCPU) Step(bus Bus, code []byte, codeBase uint64) error {
+	if c.halted {
+		return c.fault("step on halted CPU")
+	}
+	off := c.pc - codeBase
+	if off+4 > uint64(len(code)) {
+		return c.fault("pc outside code")
+	}
+	ins := code[off : off+4]
+	bus.Fetch(c.pc, 4)
+	next := c.pc + 4
+	c.icount++
+
+	op := ins[0]
+	ra, rb, rc := int(ins[1])&31, int(ins[2])&31, int(ins[3])&31
+	imm16 := uint64(binary.LittleEndian.Uint16(ins[2:4]))
+	rel := int64(int32(uint32(ins[1])|uint32(ins[2])<<8|uint32(ins[3])<<16) << 8 >> 8) // sign-extend 24-bit
+	imm8 := uint64(ins[3])
+
+	switch op {
+	case aNOP:
+	case aMOVZ0, aMOVZ16, aMOVZ32, aMOVZ48:
+		sh := uint(op-aMOVZ0) * 16
+		c.Regs[ra] = imm16 << sh
+	case aMOVK0, aMOVK16, aMOVK32, aMOVK48:
+		sh := uint(op-aMOVK0) * 16
+		c.Regs[ra] = c.Regs[ra]&^(uint64(0xFFFF)<<sh) | imm16<<sh
+	case aMOVr:
+		c.Regs[ra] = c.Regs[rb]
+	case aADD:
+		c.Regs[ra] = c.Regs[rb] + c.Regs[rc]
+	case aSUB:
+		c.Regs[ra] = c.Regs[rb] - c.Regs[rc]
+	case aMUL:
+		c.Regs[ra] = c.Regs[rb] * c.Regs[rc]
+	case aAND:
+		c.Regs[ra] = c.Regs[rb] & c.Regs[rc]
+	case aORR:
+		c.Regs[ra] = c.Regs[rb] | c.Regs[rc]
+	case aEOR:
+		c.Regs[ra] = c.Regs[rb] ^ c.Regs[rc]
+	case aLSL:
+		c.Regs[ra] = c.Regs[rb] << (uint(rc) & 63)
+	case aLSR:
+		c.Regs[ra] = c.Regs[rb] >> (uint(rc) & 63)
+	case aADDI:
+		c.Regs[ra] = c.Regs[rb] + imm8
+	case aSUBI:
+		c.Regs[ra] = c.Regs[rb] - imm8
+	case aSUBS:
+		v := c.Regs[rb] - c.Regs[rc]
+		c.Regs[ra] = v
+		c.Z = v == 0
+		c.N = int64(c.Regs[rb]) < int64(c.Regs[rc])
+	case aCMP:
+		c.Z = c.Regs[ra] == c.Regs[rb]
+		c.N = int64(c.Regs[ra]) < int64(c.Regs[rb])
+	case aB:
+		next = uint64(int64(next) + rel*4)
+	case aBEQ:
+		if c.Z {
+			next = uint64(int64(next) + rel*4)
+		}
+	case aBNE:
+		if !c.Z {
+			next = uint64(int64(next) + rel*4)
+		}
+	case aBLT:
+		if c.N {
+			next = uint64(int64(next) + rel*4)
+		}
+	case aBGE:
+		if !c.N {
+			next = uint64(int64(next) + rel*4)
+		}
+	case aLDR:
+		c.Regs[ra] = bus.Load(c.Regs[rb]+imm8*8, 8)
+	case aSTR:
+		bus.Store(c.Regs[rb]+imm8*8, 8, c.Regs[ra])
+	case aLDRB:
+		c.Regs[ra] = bus.Load(c.Regs[rb]+imm8, 1)
+	case aSTRB:
+		bus.Store(c.Regs[rb]+imm8, 1, c.Regs[ra]&0xFF)
+	case aLDXR:
+		va := c.Regs[rb]
+		c.Regs[ra] = bus.Load(va, 8)
+		c.exAddr, c.exValid = va, true
+	case aSTXR:
+		// ra = status register (0 = success), rb = value, rc = address reg.
+		va := c.Regs[rc]
+		if c.exValid && c.exAddr == va {
+			// Use CAS on the bus so cross-ISA atomicity holds even when the
+			// exclusive pair is translated (as QEMU's TCG does, §7.1).
+			old := bus.Load(va, 8)
+			if _, ok := bus.CAS(va, old, c.Regs[rb]); ok {
+				c.Regs[ra] = 0
+			} else {
+				c.Regs[ra] = 1
+			}
+		} else {
+			c.Regs[ra] = 1
+		}
+		c.exValid = false
+	case aCASA:
+		prev, _ := bus.CAS(c.Regs[rc], c.Regs[ra], c.Regs[rb])
+		c.Regs[ra] = prev
+	case aBL:
+		c.Regs[ArmLR] = next
+		next = uint64(int64(next) + rel*4)
+	case aRET:
+		next = c.Regs[ArmLR]
+	case aMIGR:
+		c.pc = next
+		bus.Migrate(int(ins[1]))
+		return nil
+	case aHLT:
+		c.halted = true
+	default:
+		return c.fault(fmt.Sprintf("unhandled opcode %#x", op))
+	}
+	c.pc = next
+	return nil
+}
+
+// ArmAsm assembles SARM code with label support.
+type ArmAsm struct {
+	buf     []byte
+	labels  map[string]int
+	patches []patch
+}
+
+// NewArmAsm returns an empty assembler.
+func NewArmAsm() *ArmAsm { return &ArmAsm{labels: make(map[string]int)} }
+
+func (a *ArmAsm) word(op, b1, b2, b3 byte) *ArmAsm {
+	a.buf = append(a.buf, op, b1, b2, b3)
+	return a
+}
+
+// Label binds name to the current position.
+func (a *ArmAsm) Label(name string) *ArmAsm { a.labels[name] = len(a.buf); return a }
+
+func (a *ArmAsm) branch(op byte, label string) *ArmAsm {
+	a.patches = append(a.patches, patch{at: len(a.buf), label: label, end: len(a.buf) + 4})
+	return a.word(op, 0, 0, 0)
+}
+
+// MovImm64 emits the canonical MOVZ/MOVK sequence for an arbitrary 64-bit
+// immediate (1–4 instructions, like a real AArch64 materialization).
+func (a *ArmAsm) MovImm64(rd int, v uint64) *ArmAsm {
+	a.word(aMOVZ0, byte(rd), byte(v), byte(v>>8))
+	for i, op := 1, []byte{aMOVK16, aMOVK32, aMOVK48}; i <= 3; i++ {
+		part := uint16(v >> (16 * uint(i)))
+		if part != 0 {
+			a.word(op[i-1], byte(rd), byte(part), byte(part>>8))
+		}
+	}
+	return a
+}
+
+func (a *ArmAsm) Mov(rd, rn int) *ArmAsm          { return a.word(aMOVr, byte(rd), byte(rn), 0) }
+func (a *ArmAsm) Add(rd, rn, rm int) *ArmAsm      { return a.word(aADD, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Sub(rd, rn, rm int) *ArmAsm      { return a.word(aSUB, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Mul(rd, rn, rm int) *ArmAsm      { return a.word(aMUL, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) And(rd, rn, rm int) *ArmAsm      { return a.word(aAND, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Orr(rd, rn, rm int) *ArmAsm      { return a.word(aORR, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Eor(rd, rn, rm int) *ArmAsm      { return a.word(aEOR, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Lsl(rd, rn int, sh byte) *ArmAsm { return a.word(aLSL, byte(rd), byte(rn), sh) }
+func (a *ArmAsm) Lsr(rd, rn int, sh byte) *ArmAsm { return a.word(aLSR, byte(rd), byte(rn), sh) }
+func (a *ArmAsm) AddImm(rd, rn int, v byte) *ArmAsm {
+	return a.word(aADDI, byte(rd), byte(rn), v)
+}
+func (a *ArmAsm) SubImm(rd, rn int, v byte) *ArmAsm {
+	return a.word(aSUBI, byte(rd), byte(rn), v)
+}
+func (a *ArmAsm) Subs(rd, rn, rm int) *ArmAsm { return a.word(aSUBS, byte(rd), byte(rn), byte(rm)) }
+func (a *ArmAsm) Cmp(rn, rm int) *ArmAsm      { return a.word(aCMP, byte(rn), byte(rm), 0) }
+func (a *ArmAsm) B(label string) *ArmAsm      { return a.branch(aB, label) }
+func (a *ArmAsm) Beq(label string) *ArmAsm    { return a.branch(aBEQ, label) }
+func (a *ArmAsm) Bne(label string) *ArmAsm    { return a.branch(aBNE, label) }
+func (a *ArmAsm) Blt(label string) *ArmAsm    { return a.branch(aBLT, label) }
+func (a *ArmAsm) Bge(label string) *ArmAsm    { return a.branch(aBGE, label) }
+func (a *ArmAsm) Ldr(rd, rn int, imm8 byte) *ArmAsm {
+	return a.word(aLDR, byte(rd), byte(rn), imm8)
+}
+func (a *ArmAsm) Str(rs, rn int, imm8 byte) *ArmAsm {
+	return a.word(aSTR, byte(rs), byte(rn), imm8)
+}
+func (a *ArmAsm) Ldrb(rd, rn int, imm8 byte) *ArmAsm {
+	return a.word(aLDRB, byte(rd), byte(rn), imm8)
+}
+func (a *ArmAsm) Strb(rs, rn int, imm8 byte) *ArmAsm {
+	return a.word(aSTRB, byte(rs), byte(rn), imm8)
+}
+func (a *ArmAsm) Ldxr(rd, rn int) *ArmAsm { return a.word(aLDXR, byte(rd), byte(rn), 0) }
+func (a *ArmAsm) Stxr(rstatus, rs, rn int) *ArmAsm {
+	return a.word(aSTXR, byte(rstatus), byte(rs), byte(rn))
+}
+func (a *ArmAsm) Cas(rd, rs, rn int) *ArmAsm { return a.word(aCASA, byte(rd), byte(rs), byte(rn)) }
+func (a *ArmAsm) Bl(label string) *ArmAsm    { return a.branch(aBL, label) }
+func (a *ArmAsm) Ret() *ArmAsm               { return a.word(aRET, 0, 0, 0) }
+func (a *ArmAsm) Migrate(id byte) *ArmAsm    { return a.word(aMIGR, id, 0, 0) }
+func (a *ArmAsm) Hlt() *ArmAsm               { return a.word(aHLT, 0, 0, 0) }
+func (a *ArmAsm) Nop() *ArmAsm               { return a.word(aNOP, 0, 0, 0) }
+
+// Pos returns the current emission offset.
+func (a *ArmAsm) Pos() int { return len(a.buf) }
+
+// Assemble resolves labels and returns the machine code.
+func (a *ArmAsm) Assemble() ([]byte, error) {
+	for _, p := range a.patches {
+		target, ok := a.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", p.label)
+		}
+		relWords := int32(target-p.end) / 4
+		if relWords < -(1<<23) || relWords >= 1<<23 {
+			return nil, fmt.Errorf("isa: branch to %q out of 24-bit range", p.label)
+		}
+		a.buf[p.at+1] = byte(relWords)
+		a.buf[p.at+2] = byte(relWords >> 8)
+		a.buf[p.at+3] = byte(relWords >> 16)
+	}
+	return a.buf, nil
+}
+
+// LabelPos returns the offset bound to a label.
+func (a *ArmAsm) LabelPos(name string) (int, bool) {
+	p, ok := a.labels[name]
+	return p, ok
+}

@@ -1,0 +1,78 @@
+// Package isa implements the two instruction-set architectures of the
+// simulated platform: SX86, a variable-length two-operand CISC machine in
+// the style of x86-64, and SARM, a fixed-length three-operand RISC machine
+// in the style of AArch64 (including LL/SC exclusives and LSE CAS, §6.5,
+// §7.1).
+//
+// The ISAs are deliberately different where the paper's mechanisms care:
+// register file size and layout, instruction encodings and lengths,
+// immediate construction (single MOV imm64 vs MOVZ/MOVK sequences), flags
+// semantics, and atomic primitives. The Popcorn-compiler-style toolchain in
+// internal/minicc compiles one IR to both, and internal/xlate transforms
+// register state between them at migration points — exactly the machinery
+// heterogeneous-ISA execution migration needs.
+package isa
+
+import "fmt"
+
+// Arch identifies an instruction set.
+type Arch int
+
+const (
+	// X86 is the SX86 CISC architecture (16 GP registers, variable-length).
+	X86 Arch = iota
+	// Arm64 is the SARM RISC architecture (31 GP registers + SP, 4-byte).
+	Arm64
+)
+
+func (a Arch) String() string {
+	if a == X86 {
+		return "x86_64"
+	}
+	return "aarch64"
+}
+
+// Bus is the interface through which a CPU touches the outside world. The
+// kernel layer provides an implementation that translates virtual
+// addresses, charges the cache model, and implements migration points.
+type Bus interface {
+	// Fetch charges an instruction fetch of n bytes at va.
+	Fetch(va uint64, n int)
+	// Load returns the n-byte little-endian value at va (n in {1,2,4,8}).
+	Load(va uint64, n int) uint64
+	// Store writes the n-byte little-endian value v at va.
+	Store(va uint64, n int, v uint64)
+	// CAS atomically compares-and-swaps the 8-byte word at va.
+	CAS(va uint64, old, new uint64) (prev uint64, swapped bool)
+	// Migrate is invoked by the MIGRATE instruction with its point id.
+	// The CPU has already advanced its PC past the instruction.
+	Migrate(id int)
+}
+
+// CPU is the architecture-independent view of a processor context.
+type CPU interface {
+	Arch() Arch
+	// Step executes one instruction from code (mapped at codeBase).
+	Step(bus Bus, code []byte, codeBase uint64) error
+	Halted() bool
+	PC() uint64
+	SetPC(uint64)
+	// Reg and SetReg index the architectural GP register file.
+	Reg(i int) uint64
+	SetReg(i int, v uint64)
+	// NumRegs is the architectural register count (16 vs 31).
+	NumRegs() int
+	// InstrCount is the number of instructions retired.
+	InstrCount() int64
+}
+
+// DecodeError reports an undecodable or out-of-range instruction.
+type DecodeError struct {
+	Arch Arch
+	PC   uint64
+	Why  string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: %v decode fault at pc=%#x: %s", e.Arch, e.PC, e.Why)
+}

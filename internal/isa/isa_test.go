@@ -1,0 +1,487 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestX86Arithmetic(t *testing.T) {
+	code, err := NewX86Asm().
+		MovImm(1, 10).
+		MovImm(2, 3).
+		Mov(3, 1).
+		Add(3, 2). // r3 = 13
+		Mov(4, 1).
+		Sub(4, 2). // r4 = 7
+		Mov(5, 1).
+		Mul(5, 2). // r5 = 30
+		Mov(6, 1).
+		And(6, 2). // r6 = 2
+		Mov(7, 1).
+		Or(7, 2). // r7 = 11
+		Mov(8, 1).
+		Xor(8, 2). // r8 = 9
+		MovImm(9, 1).
+		Shl(9, 4).     // r9 = 16
+		Shr(9, 2).     // r9 = 4
+		AddImm(9, -5). // r9 = -1
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewX86CPU(0, 0x10000)
+	if err := Run(cpu, NewMapBus(), code, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint64{3: 13, 4: 7, 5: 30, 6: 2, 7: 11, 8: 9, 9: ^uint64(0)}
+	for r, w := range want {
+		if got := cpu.Reg(r); got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+	if cpu.InstrCount() == 0 {
+		t.Error("icount not advancing")
+	}
+}
+
+func TestX86LoopAndBranches(t *testing.T) {
+	// sum = 0; for i = 0; i < 10; i++ { sum += i } -> 45
+	code, err := NewX86Asm().
+		MovImm(1, 0).  // i
+		MovImm(2, 0).  // sum
+		MovImm(3, 10). // limit
+		Label("loop").
+		Cmp(1, 3).
+		Jge("done").
+		Add(2, 1).
+		AddImm(1, 1).
+		Jmp("loop").
+		Label("done").
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewX86CPU(0, 0x10000)
+	if err := Run(cpu, NewMapBus(), code, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Reg(2); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+}
+
+func TestX86LoadStoreStack(t *testing.T) {
+	code, err := NewX86Asm().
+		MovImm(1, 0x5000).
+		MovImm(2, 0xDEAD).
+		Store(2, 1, 8). // [0x5008] = 0xDEAD
+		Load(3, 1, 8).  // r3 = 0xDEAD
+		Push(3).
+		Pop(4). // r4 = 0xDEAD
+		MovImm(5, 0xAB).
+		StoreB(5, 1, 0).
+		LoadB(6, 1, 0).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewX86CPU(0, 0x10000)
+	bus := NewMapBus()
+	if err := Run(cpu, bus, code, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reg(3) != 0xDEAD || cpu.Reg(4) != 0xDEAD || cpu.Reg(6) != 0xAB {
+		t.Errorf("r3=%#x r4=%#x r6=%#x", cpu.Reg(3), cpu.Reg(4), cpu.Reg(6))
+	}
+	if cpu.Reg(X86RSP) != 0x10000 {
+		t.Errorf("stack not balanced: rsp=%#x", cpu.Reg(X86RSP))
+	}
+}
+
+func TestX86CallRet(t *testing.T) {
+	// main: r1=5; call double; hlt. double: r1 += r1; ret
+	code, err := NewX86Asm().
+		MovImm(1, 5).
+		Call("double").
+		Hlt().
+		Label("double").
+		Add(1, 1).
+		Ret().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewX86CPU(0, 0x10000)
+	if err := Run(cpu, NewMapBus(), code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reg(1) != 10 {
+		t.Errorf("r1 = %d, want 10", cpu.Reg(1))
+	}
+}
+
+func TestX86CmpXchg(t *testing.T) {
+	code, err := NewX86Asm().
+		MovImm(1, 0x9000).
+		MovImm(0, 7).  // RAX: expected
+		MovImm(2, 99). // new value
+		CmpXchg(2, 1, 0).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	bus.Store(0x9000, 8, 7)
+	cpu := NewX86CPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !cpu.ZF {
+		t.Error("successful CMPXCHG must set ZF")
+	}
+	if got := bus.Load(0x9000, 8); got != 99 {
+		t.Errorf("mem = %d, want 99", got)
+	}
+	if cpu.Reg(0) != 7 {
+		t.Errorf("RAX = %d, want old value 7", cpu.Reg(0))
+	}
+
+	// Failing CAS: RAX gets the actual value, ZF clear.
+	cpu2 := NewX86CPU(0, 0x10000)
+	bus.Store(0x9000, 8, 123)
+	if err := Run(cpu2, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu2.ZF {
+		t.Error("failed CMPXCHG must clear ZF")
+	}
+	if cpu2.Reg(0) != 123 {
+		t.Errorf("RAX = %d, want 123", cpu2.Reg(0))
+	}
+}
+
+func TestX86MigrateHook(t *testing.T) {
+	code, err := NewX86Asm().
+		MovImm(1, 1).
+		Migrate(42).
+		MovImm(1, 2).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	var gotID int
+	bus.OnMigrate = func(id int) { gotID = id }
+	cpu := NewX86CPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if gotID != 42 {
+		t.Errorf("migrate id = %d, want 42", gotID)
+	}
+	if cpu.Reg(1) != 2 {
+		t.Error("execution did not continue past MIGRATE")
+	}
+}
+
+func TestX86DecodeFaults(t *testing.T) {
+	cpu := NewX86CPU(0, 0)
+	if err := cpu.Step(NewMapBus(), []byte{0xFF}, 0); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	cpu2 := NewX86CPU(100, 0)
+	if err := cpu2.Step(NewMapBus(), []byte{xNOP}, 0); err == nil {
+		t.Error("out-of-range pc accepted")
+	}
+	cpu3 := NewX86CPU(0, 0)
+	if err := cpu3.Step(NewMapBus(), []byte{xMOVri, 1}, 0); err == nil {
+		t.Error("truncated instruction accepted")
+	}
+}
+
+func TestArmMovImm64Sequences(t *testing.T) {
+	f := func(v uint64) bool {
+		code, err := NewArmAsm().MovImm64(5, v).Hlt().Assemble()
+		if err != nil {
+			return false
+		}
+		cpu := NewArmCPU(0, 0x10000)
+		if err := Run(cpu, NewMapBus(), code, 0, 100); err != nil {
+			return false
+		}
+		return cpu.Reg(5) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArmArithmeticAndLoop(t *testing.T) {
+	// Same sum-0..9 loop as the x86 test.
+	code, err := NewArmAsm().
+		MovImm64(1, 0).
+		MovImm64(2, 0).
+		MovImm64(3, 10).
+		Label("loop").
+		Cmp(1, 3).
+		Bge("done").
+		Add(2, 2, 1).
+		AddImm(1, 1, 1).
+		B("loop").
+		Label("done").
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, NewMapBus(), code, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Reg(2); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+}
+
+func TestArmLoadStore(t *testing.T) {
+	code, err := NewArmAsm().
+		MovImm64(1, 0x7000).
+		MovImm64(2, 0xBEEF).
+		Str(2, 1, 2). // [0x7010] = 0xBEEF
+		Ldr(3, 1, 2).
+		MovImm64(4, 0x7F).
+		Strb(4, 1, 1).
+		Ldrb(5, 1, 1).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewArmCPU(0, 0x10000)
+	bus := NewMapBus()
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reg(3) != 0xBEEF || cpu.Reg(5) != 0x7F {
+		t.Errorf("x3=%#x x5=%#x", cpu.Reg(3), cpu.Reg(5))
+	}
+	if got := bus.Load(0x7010, 8); got != 0xBEEF {
+		t.Errorf("[0x7010] = %#x", got)
+	}
+}
+
+func TestArmBlRet(t *testing.T) {
+	code, err := NewArmAsm().
+		MovImm64(1, 21).
+		Bl("double").
+		Hlt().
+		Label("double").
+		Add(1, 1, 1).
+		Ret().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, NewMapBus(), code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reg(1) != 42 {
+		t.Errorf("x1 = %d, want 42", cpu.Reg(1))
+	}
+}
+
+func TestArmLLSC(t *testing.T) {
+	// LDXR/STXR increment: classic LL/SC retry loop.
+	code, err := NewArmAsm().
+		MovImm64(1, 0x8000).
+		Label("retry").
+		Ldxr(2, 1).      // x2 = [x1]
+		AddImm(3, 2, 1). // x3 = x2+1
+		Stxr(4, 3, 1).   // [x1] = x3 if monitor; x4 = status
+		MovImm64(5, 0).
+		Cmp(4, 5).
+		Bne("retry").
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	bus.Store(0x8000, 8, 41)
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.Load(0x8000, 8); got != 42 {
+		t.Errorf("[0x8000] = %d, want 42", got)
+	}
+}
+
+func TestArmSTXRWithoutLDXRFails(t *testing.T) {
+	code, err := NewArmAsm().
+		MovImm64(1, 0x8000).
+		MovImm64(3, 7).
+		Stxr(4, 3, 1). // no preceding LDXR: must fail with status 1
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reg(4) != 1 {
+		t.Errorf("status = %d, want 1 (failure)", cpu.Reg(4))
+	}
+	if got := bus.Load(0x8000, 8); got != 0 {
+		t.Errorf("memory written despite failed exclusive: %d", got)
+	}
+}
+
+func TestArmLSECASSemantics(t *testing.T) {
+	code, err := NewArmAsm().
+		MovImm64(1, 0x8000).
+		MovImm64(2, 5).
+		MovImm64(3, 50).
+		Cas(2, 3, 1).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	bus.Store(0x8000, 8, 5)
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.Load(0x8000, 8); got != 50 {
+		t.Errorf("CAS did not store: %d", got)
+	}
+	if cpu.Reg(2) != 5 {
+		t.Errorf("CAS old value = %d, want 5", cpu.Reg(2))
+	}
+}
+
+func TestArmMigrateHook(t *testing.T) {
+	code, err := NewArmAsm().
+		MovImm64(1, 1).
+		Migrate(7).
+		MovImm64(1, 2).
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewMapBus()
+	var gotID int
+	bus.OnMigrate = func(id int) { gotID = id }
+	cpu := NewArmCPU(0, 0x10000)
+	if err := Run(cpu, bus, code, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if gotID != 7 || cpu.Reg(1) != 2 {
+		t.Errorf("id=%d x1=%d", gotID, cpu.Reg(1))
+	}
+}
+
+func TestArmDecodeFaults(t *testing.T) {
+	cpu := NewArmCPU(0, 0)
+	if err := cpu.Step(NewMapBus(), []byte{0xEE, 0, 0, 0}, 0); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	cpu2 := NewArmCPU(100, 0)
+	if err := cpu2.Step(NewMapBus(), []byte{aNOP, 0, 0, 0}, 0); err == nil {
+		t.Error("out-of-range pc accepted")
+	}
+}
+
+func TestUndefinedLabelRejected(t *testing.T) {
+	if _, err := NewX86Asm().Jmp("nowhere").Assemble(); err == nil {
+		t.Error("x86 undefined label accepted")
+	}
+	if _, err := NewArmAsm().B("nowhere").Assemble(); err == nil {
+		t.Error("arm undefined label accepted")
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	// Infinite loop must hit the step budget.
+	code, _ := NewX86Asm().Label("x").Jmp("x").Assemble()
+	cpu := NewX86CPU(0, 0)
+	if err := Run(cpu, NewMapBus(), code, 0, 50); err == nil {
+		t.Error("infinite loop did not exhaust budget")
+	}
+}
+
+func TestCrossISASameComputation(t *testing.T) {
+	// The same algorithm on both ISAs produces the same result: iterative
+	// fibonacci(20).
+	xcode, err := NewX86Asm().
+		MovImm(1, 0). // a
+		MovImm(2, 1). // b
+		MovImm(3, 0). // i
+		MovImm(4, 20).
+		Label("loop").
+		Cmp(3, 4).
+		Jge("done").
+		Mov(5, 2).
+		Add(2, 1). // b = a+b
+		Mov(1, 5). // a = old b
+		AddImm(3, 1).
+		Jmp("loop").
+		Label("done").
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acode, err := NewArmAsm().
+		MovImm64(1, 0).
+		MovImm64(2, 1).
+		MovImm64(3, 0).
+		MovImm64(4, 20).
+		Label("loop").
+		Cmp(3, 4).
+		Bge("done").
+		Mov(5, 2).
+		Add(2, 1, 2).
+		Mov(1, 5).
+		AddImm(3, 3, 1).
+		B("loop").
+		Label("done").
+		Hlt().
+		Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewX86CPU(0, 0x10000)
+	a := NewArmCPU(0, 0x10000)
+	if err := Run(x, NewMapBus(), xcode, 0, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(a, NewMapBus(), acode, 0, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if x.Reg(1) != a.Reg(1) || x.Reg(1) != 6765 {
+		t.Errorf("x86 fib = %d, arm fib = %d, want 6765", x.Reg(1), a.Reg(1))
+	}
+	// The encodings are genuinely different sizes.
+	if len(xcode) == len(acode) {
+		t.Logf("note: equal code sizes %d (coincidence acceptable)", len(xcode))
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if X86.String() != "x86_64" || Arm64.String() != "aarch64" {
+		t.Error("arch names wrong")
+	}
+}

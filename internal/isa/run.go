@@ -1,0 +1,73 @@
+package isa
+
+import "fmt"
+
+// Run steps cpu until it halts or maxSteps instructions retire. It returns
+// an error on a decode fault or when the step budget is exhausted.
+func Run(cpu CPU, bus Bus, code []byte, codeBase uint64, maxSteps int64) error {
+	for i := int64(0); i < maxSteps; i++ {
+		if cpu.Halted() {
+			return nil
+		}
+		if err := cpu.Step(bus, code, codeBase); err != nil {
+			return err
+		}
+	}
+	if cpu.Halted() {
+		return nil
+	}
+	return fmt.Errorf("isa: %v did not halt within %d steps (pc=%#x)", cpu.Arch(), maxSteps, cpu.PC())
+}
+
+// MapBus is a host-memory Bus for functional testing: a sparse byte map
+// with no timing, no translation, and an optional migration hook.
+type MapBus struct {
+	Mem       map[uint64]byte
+	OnMigrate func(id int)
+	Fetches   int64
+	Loads     int64
+	Stores    int64
+}
+
+// NewMapBus returns an empty MapBus.
+func NewMapBus() *MapBus { return &MapBus{Mem: make(map[uint64]byte)} }
+
+// Fetch implements Bus.
+func (b *MapBus) Fetch(va uint64, n int) { b.Fetches++ }
+
+// Load implements Bus.
+func (b *MapBus) Load(va uint64, n int) uint64 {
+	b.Loads++
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(b.Mem[va+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+// Store implements Bus.
+func (b *MapBus) Store(va uint64, n int, v uint64) {
+	b.Stores++
+	for i := 0; i < n; i++ {
+		b.Mem[va+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// CAS implements Bus.
+func (b *MapBus) CAS(va uint64, old, new uint64) (uint64, bool) {
+	prev := b.Load(va, 8)
+	b.Loads-- // CAS counts as one store, not a load+store
+	if prev == old {
+		b.Store(va, 8, new)
+		return prev, true
+	}
+	b.Stores++
+	return prev, false
+}
+
+// Migrate implements Bus.
+func (b *MapBus) Migrate(id int) {
+	if b.OnMigrate != nil {
+		b.OnMigrate(id)
+	}
+}

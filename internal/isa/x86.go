@@ -1,0 +1,339 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SX86 opcodes. Instructions are variable length: one opcode byte followed
+// by register bytes and little-endian immediates, echoing x86's CISC
+// encoding style.
+const (
+	xMOVri  = 0x01 // reg, imm64           (10 bytes)
+	xMOVrr  = 0x02 // dst, src             (3 bytes)
+	xADDrr  = 0x03
+	xSUBrr  = 0x04
+	xMULrr  = 0x05
+	xANDrr  = 0x06
+	xORrr   = 0x07
+	xXORrr  = 0x08
+	xADDri  = 0x09 // reg, imm32 sign-extended (6 bytes)
+	xCMPrr  = 0x0A // a, b -> ZF, SF       (3 bytes)
+	xJMP    = 0x0B // rel32                (5 bytes)
+	xJZ     = 0x0C
+	xJNZ    = 0x0D
+	xJL     = 0x0E
+	xJGE    = 0x0F
+	xLOAD   = 0x10 // dst, base, disp32    (7 bytes)
+	xSTORE  = 0x11 // src, base, disp32    (7 bytes)
+	xPUSH   = 0x12 // reg                  (2 bytes)
+	xPOP    = 0x13
+	xCALL   = 0x14 // rel32                (5 bytes)
+	xRET    = 0x15 // (1 byte)
+	xCMPXCH = 0x16 // src, base, disp32: LOCK CMPXCHG [base+disp], src; RAX is the comparand (7 bytes)
+	xHLT    = 0x17
+	xMIGR   = 0x18 // imm32 migration point id (5 bytes)
+	xSHLri  = 0x19 // reg, imm8            (3 bytes)
+	xSHRri  = 0x1A
+	xLOADB  = 0x1B // dst, base, disp32: 1-byte zero-extending load
+	xSTOREB = 0x1C // src, base, disp32: 1-byte store
+	xNOP    = 0x1D
+)
+
+// X86 register conventions (by analogy): R0=RAX (CMPXCHG comparand,
+// return value), R15=RSP (stack pointer).
+const (
+	X86RAX = 0
+	X86RSP = 15
+	// X86NumRegs is the SX86 register file size.
+	X86NumRegs = 16
+)
+
+// X86CPU is one SX86 hardware context.
+type X86CPU struct {
+	Regs   [X86NumRegs]uint64
+	pc     uint64
+	ZF, SF bool
+	halted bool
+	icount int64
+}
+
+// NewX86CPU returns a context with pc at entry and the stack pointer set.
+func NewX86CPU(entry, sp uint64) *X86CPU {
+	c := &X86CPU{pc: entry}
+	c.Regs[X86RSP] = sp
+	return c
+}
+
+// Arch implements CPU.
+func (c *X86CPU) Arch() Arch { return X86 }
+
+// Halted implements CPU.
+func (c *X86CPU) Halted() bool { return c.halted }
+
+// PC implements CPU.
+func (c *X86CPU) PC() uint64 { return c.pc }
+
+// SetPC implements CPU.
+func (c *X86CPU) SetPC(v uint64) { c.pc = v; c.halted = false }
+
+// Reg implements CPU.
+func (c *X86CPU) Reg(i int) uint64 { return c.Regs[i] }
+
+// SetReg implements CPU.
+func (c *X86CPU) SetReg(i int, v uint64) { c.Regs[i] = v }
+
+// NumRegs implements CPU.
+func (c *X86CPU) NumRegs() int { return X86NumRegs }
+
+// InstrCount implements CPU.
+func (c *X86CPU) InstrCount() int64 { return c.icount }
+
+func (c *X86CPU) fault(why string) error {
+	return &DecodeError{Arch: X86, PC: c.pc, Why: why}
+}
+
+// Step implements CPU: decode and execute one instruction.
+func (c *X86CPU) Step(bus Bus, code []byte, codeBase uint64) error {
+	if c.halted {
+		return c.fault("step on halted CPU")
+	}
+	off := c.pc - codeBase
+	if off >= uint64(len(code)) {
+		return c.fault("pc outside code")
+	}
+	op := code[off]
+	need := x86Len(op)
+	if need == 0 {
+		return c.fault(fmt.Sprintf("bad opcode %#x", op))
+	}
+	if off+uint64(need) > uint64(len(code)) {
+		return c.fault("truncated instruction")
+	}
+	ins := code[off : off+uint64(need)]
+	bus.Fetch(c.pc, need)
+	next := c.pc + uint64(need)
+	c.icount++
+
+	reg := func(i int) int {
+		return int(ins[i]) & (X86NumRegs - 1)
+	}
+	imm32 := func(i int) int64 {
+		return int64(int32(binary.LittleEndian.Uint32(ins[i:])))
+	}
+
+	switch op {
+	case xNOP:
+	case xMOVri:
+		c.Regs[reg(1)] = binary.LittleEndian.Uint64(ins[2:])
+	case xMOVrr:
+		c.Regs[reg(1)] = c.Regs[reg(2)]
+	case xADDrr:
+		c.Regs[reg(1)] += c.Regs[reg(2)]
+	case xSUBrr:
+		c.Regs[reg(1)] -= c.Regs[reg(2)]
+	case xMULrr:
+		c.Regs[reg(1)] *= c.Regs[reg(2)]
+	case xANDrr:
+		c.Regs[reg(1)] &= c.Regs[reg(2)]
+	case xORrr:
+		c.Regs[reg(1)] |= c.Regs[reg(2)]
+	case xXORrr:
+		c.Regs[reg(1)] ^= c.Regs[reg(2)]
+	case xADDri:
+		c.Regs[reg(1)] = uint64(int64(c.Regs[reg(1)]) + imm32(2))
+	case xSHLri:
+		c.Regs[reg(1)] <<= uint(ins[2] & 63)
+	case xSHRri:
+		c.Regs[reg(1)] >>= uint(ins[2] & 63)
+	case xCMPrr:
+		a, b := c.Regs[reg(1)], c.Regs[reg(2)]
+		c.ZF = a == b
+		c.SF = int64(a) < int64(b)
+	case xJMP:
+		next = uint64(int64(next) + imm32(1))
+	case xJZ:
+		if c.ZF {
+			next = uint64(int64(next) + imm32(1))
+		}
+	case xJNZ:
+		if !c.ZF {
+			next = uint64(int64(next) + imm32(1))
+		}
+	case xJL:
+		if c.SF {
+			next = uint64(int64(next) + imm32(1))
+		}
+	case xJGE:
+		if !c.SF {
+			next = uint64(int64(next) + imm32(1))
+		}
+	case xLOAD:
+		va := uint64(int64(c.Regs[reg(2)]) + imm32(3))
+		c.Regs[reg(1)] = bus.Load(va, 8)
+	case xSTORE:
+		va := uint64(int64(c.Regs[reg(2)]) + imm32(3))
+		bus.Store(va, 8, c.Regs[reg(1)])
+	case xLOADB:
+		va := uint64(int64(c.Regs[reg(2)]) + imm32(3))
+		c.Regs[reg(1)] = bus.Load(va, 1)
+	case xSTOREB:
+		va := uint64(int64(c.Regs[reg(2)]) + imm32(3))
+		bus.Store(va, 1, c.Regs[reg(1)]&0xFF)
+	case xPUSH:
+		c.Regs[X86RSP] -= 8
+		bus.Store(c.Regs[X86RSP], 8, c.Regs[reg(1)])
+	case xPOP:
+		c.Regs[reg(1)] = bus.Load(c.Regs[X86RSP], 8)
+		c.Regs[X86RSP] += 8
+	case xCALL:
+		c.Regs[X86RSP] -= 8
+		bus.Store(c.Regs[X86RSP], 8, next)
+		next = uint64(int64(next) + imm32(1))
+	case xRET:
+		next = bus.Load(c.Regs[X86RSP], 8)
+		c.Regs[X86RSP] += 8
+	case xCMPXCH:
+		va := uint64(int64(c.Regs[reg(2)]) + imm32(3))
+		prev, swapped := bus.CAS(va, c.Regs[X86RAX], c.Regs[reg(1)])
+		c.ZF = swapped
+		c.Regs[X86RAX] = prev
+	case xHLT:
+		c.halted = true
+	case xMIGR:
+		c.pc = next
+		bus.Migrate(int(imm32(1)))
+		return nil
+	default:
+		return c.fault(fmt.Sprintf("unhandled opcode %#x", op))
+	}
+	c.pc = next
+	return nil
+}
+
+// x86Len returns the encoded length of an opcode, or 0 if invalid.
+func x86Len(op byte) int {
+	switch op {
+	case xMOVri:
+		return 10
+	case xMOVrr, xADDrr, xSUBrr, xMULrr, xANDrr, xORrr, xXORrr, xCMPrr, xSHLri, xSHRri:
+		return 3
+	case xADDri:
+		return 6
+	case xJMP, xJZ, xJNZ, xJL, xJGE, xCALL, xMIGR:
+		return 5
+	case xLOAD, xSTORE, xCMPXCH, xLOADB, xSTOREB:
+		return 7
+	case xPUSH, xPOP:
+		return 2
+	case xRET, xHLT, xNOP:
+		return 1
+	}
+	return 0
+}
+
+// X86Asm assembles SX86 code with label support.
+type X86Asm struct {
+	buf     []byte
+	labels  map[string]int
+	patches []patch
+}
+
+type patch struct {
+	at    int // offset of the rel32 field
+	label string
+	end   int // offset of the end of the instruction (branch origin)
+}
+
+// NewX86Asm returns an empty assembler.
+func NewX86Asm() *X86Asm {
+	return &X86Asm{labels: make(map[string]int)}
+}
+
+func (a *X86Asm) op(bytes ...byte) *X86Asm { a.buf = append(a.buf, bytes...); return a }
+
+func (a *X86Asm) imm32(v int32) *X86Asm {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	return a.op(b[:]...)
+}
+
+func (a *X86Asm) imm64(v uint64) *X86Asm {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return a.op(b[:]...)
+}
+
+// Label binds name to the current position.
+func (a *X86Asm) Label(name string) *X86Asm { a.labels[name] = len(a.buf); return a }
+
+func (a *X86Asm) branch(op byte, label string) *X86Asm {
+	a.op(op)
+	a.patches = append(a.patches, patch{at: len(a.buf), label: label, end: len(a.buf) + 4})
+	return a.imm32(0)
+}
+
+// MovImm, Mov, Add, etc. emit the corresponding instructions.
+func (a *X86Asm) MovImm(r int, v uint64) *X86Asm { return a.op(xMOVri, byte(r)).imm64(v) }
+func (a *X86Asm) Mov(d, s int) *X86Asm           { return a.op(xMOVrr, byte(d), byte(s)) }
+func (a *X86Asm) Add(d, s int) *X86Asm           { return a.op(xADDrr, byte(d), byte(s)) }
+func (a *X86Asm) Sub(d, s int) *X86Asm           { return a.op(xSUBrr, byte(d), byte(s)) }
+func (a *X86Asm) Mul(d, s int) *X86Asm           { return a.op(xMULrr, byte(d), byte(s)) }
+func (a *X86Asm) And(d, s int) *X86Asm           { return a.op(xANDrr, byte(d), byte(s)) }
+func (a *X86Asm) Or(d, s int) *X86Asm            { return a.op(xORrr, byte(d), byte(s)) }
+func (a *X86Asm) Xor(d, s int) *X86Asm           { return a.op(xXORrr, byte(d), byte(s)) }
+func (a *X86Asm) AddImm(r int, v int32) *X86Asm  { return a.op(xADDri, byte(r)).imm32(v) }
+func (a *X86Asm) Shl(r int, n byte) *X86Asm      { return a.op(xSHLri, byte(r), n) }
+func (a *X86Asm) Shr(r int, n byte) *X86Asm      { return a.op(xSHRri, byte(r), n) }
+func (a *X86Asm) Cmp(x, y int) *X86Asm           { return a.op(xCMPrr, byte(x), byte(y)) }
+func (a *X86Asm) Jmp(label string) *X86Asm       { return a.branch(xJMP, label) }
+func (a *X86Asm) Jz(label string) *X86Asm        { return a.branch(xJZ, label) }
+func (a *X86Asm) Jnz(label string) *X86Asm       { return a.branch(xJNZ, label) }
+func (a *X86Asm) Jl(label string) *X86Asm        { return a.branch(xJL, label) }
+func (a *X86Asm) Jge(label string) *X86Asm       { return a.branch(xJGE, label) }
+func (a *X86Asm) Load(d, base int, disp int32) *X86Asm {
+	return a.op(xLOAD, byte(d), byte(base)).imm32(disp)
+}
+func (a *X86Asm) Store(s, base int, disp int32) *X86Asm {
+	return a.op(xSTORE, byte(s), byte(base)).imm32(disp)
+}
+func (a *X86Asm) LoadB(d, base int, disp int32) *X86Asm {
+	return a.op(xLOADB, byte(d), byte(base)).imm32(disp)
+}
+func (a *X86Asm) StoreB(s, base int, disp int32) *X86Asm {
+	return a.op(xSTOREB, byte(s), byte(base)).imm32(disp)
+}
+func (a *X86Asm) Push(r int) *X86Asm { return a.op(xPUSH, byte(r)) }
+func (a *X86Asm) Pop(r int) *X86Asm  { return a.op(xPOP, byte(r)) }
+func (a *X86Asm) Call(label string) *X86Asm {
+	return a.branch(xCALL, label)
+}
+func (a *X86Asm) Ret() *X86Asm { return a.op(xRET) }
+func (a *X86Asm) CmpXchg(src, base int, disp int32) *X86Asm {
+	return a.op(xCMPXCH, byte(src), byte(base)).imm32(disp)
+}
+func (a *X86Asm) Hlt() *X86Asm             { return a.op(xHLT) }
+func (a *X86Asm) Migrate(id int32) *X86Asm { return a.op(xMIGR).imm32(id) }
+func (a *X86Asm) Nop() *X86Asm             { return a.op(xNOP) }
+
+// Pos returns the current emission offset (for migration metadata).
+func (a *X86Asm) Pos() int { return len(a.buf) }
+
+// Assemble resolves labels and returns the machine code.
+func (a *X86Asm) Assemble() ([]byte, error) {
+	for _, p := range a.patches {
+		target, ok := a.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", p.label)
+		}
+		rel := int32(target - p.end)
+		binary.LittleEndian.PutUint32(a.buf[p.at:], uint32(rel))
+	}
+	return a.buf, nil
+}
+
+// LabelPos returns the offset bound to a label (after Assemble it is final).
+func (a *X86Asm) LabelPos(name string) (int, bool) {
+	p, ok := a.labels[name]
+	return p, ok
+}

@@ -1,0 +1,243 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// MaxOrder is the largest buddy order (2^10 pages = 4 MiB blocks).
+const MaxOrder = 10
+
+// PageAlloc is a per-kernel binary buddy allocator over the physical
+// ranges the kernel instance owns. Ranges can be added and removed at
+// runtime — that is how the Stramash global memory allocator onlines and
+// offlines memory slices between kernels (§6.3).
+type PageAlloc struct {
+	free [MaxOrder + 1]map[mem.PhysAddr]struct{}
+	// allocated tracks live allocations and their order, for FreePage
+	// validation and for range-removal checks.
+	allocated map[mem.PhysAddr]int
+	// ranges are the currently onlined [start, end) spans.
+	ranges []span
+
+	totalPages int64
+	usedPages  int64
+}
+
+type span struct {
+	start, end mem.PhysAddr
+}
+
+// NewPageAlloc returns an empty allocator; add memory with AddRange.
+func NewPageAlloc() *PageAlloc {
+	p := &PageAlloc{allocated: make(map[mem.PhysAddr]int)}
+	for i := range p.free {
+		p.free[i] = make(map[mem.PhysAddr]struct{})
+	}
+	return p
+}
+
+// AddRange onlines the page-aligned physical range [start, start+size).
+func (p *PageAlloc) AddRange(start mem.PhysAddr, size uint64) error {
+	if start&(mem.PageSize-1) != 0 || size&(mem.PageSize-1) != 0 {
+		return fmt.Errorf("kernel: unaligned range %#x+%#x", start, size)
+	}
+	end := start + mem.PhysAddr(size)
+	for _, r := range p.ranges {
+		if start < r.end && r.start < end {
+			return fmt.Errorf("kernel: range %#x-%#x overlaps onlined %#x-%#x", start, end, r.start, r.end)
+		}
+	}
+	p.ranges = append(p.ranges, span{start, end})
+	sort.Slice(p.ranges, func(i, j int) bool { return p.ranges[i].start < p.ranges[j].start })
+
+	// Seed the free lists with naturally aligned maximal blocks.
+	cur := start
+	for cur < end {
+		order := MaxOrder
+		for order > 0 {
+			blk := mem.PhysAddr(mem.PageSize) << order
+			if cur&(blk-1) == 0 && cur+blk <= end {
+				break
+			}
+			order--
+		}
+		p.free[order][cur] = struct{}{}
+		cur += mem.PhysAddr(mem.PageSize) << order
+	}
+	p.totalPages += int64(size / mem.PageSize)
+	return nil
+}
+
+// AllocPages allocates 2^order contiguous pages, returning the base
+// address. Blocks split larger buddies on demand.
+func (p *PageAlloc) AllocPages(order int) (mem.PhysAddr, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("kernel: order %d out of range", order)
+	}
+	o := order
+	for o <= MaxOrder && len(p.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, fmt.Errorf("kernel: out of memory for order-%d allocation", order)
+	}
+	// Pick the lowest block for determinism.
+	var blk mem.PhysAddr = ^mem.PhysAddr(0)
+	for a := range p.free[o] {
+		if a < blk {
+			blk = a
+		}
+	}
+	delete(p.free[o], blk)
+	// Split down to the requested order.
+	for o > order {
+		o--
+		buddy := blk + (mem.PhysAddr(mem.PageSize) << o)
+		p.free[o][buddy] = struct{}{}
+	}
+	p.allocated[blk] = order
+	p.usedPages += int64(1) << order
+	return blk, nil
+}
+
+// AllocPage allocates a single page.
+func (p *PageAlloc) AllocPage() (mem.PhysAddr, error) { return p.AllocPages(0) }
+
+// Free releases an allocation made by AllocPages, coalescing buddies.
+func (p *PageAlloc) Free(addr mem.PhysAddr) error {
+	order, ok := p.allocated[addr]
+	if !ok {
+		return fmt.Errorf("kernel: free of unallocated address %#x", addr)
+	}
+	delete(p.allocated, addr)
+	p.usedPages -= int64(1) << order
+
+	blk := addr
+	for order < MaxOrder {
+		buddy := blk ^ (mem.PhysAddr(mem.PageSize) << order)
+		if _, free := p.free[order][buddy]; !free {
+			break
+		}
+		// Buddy must be inside an onlined range to merge.
+		if !p.inRanges(buddy, order) {
+			break
+		}
+		delete(p.free[order], buddy)
+		if buddy < blk {
+			blk = buddy
+		}
+		order++
+	}
+	p.free[order][blk] = struct{}{}
+	return nil
+}
+
+func (p *PageAlloc) inRanges(addr mem.PhysAddr, order int) bool {
+	end := addr + (mem.PhysAddr(mem.PageSize) << order)
+	for _, r := range p.ranges {
+		if addr >= r.start && end <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRange offlines [start, start+size). Every page in the range must be
+// free; the caller (the global allocator) evacuates used pages first.
+func (p *PageAlloc) RemoveRange(start mem.PhysAddr, size uint64) error {
+	end := start + mem.PhysAddr(size)
+	idx := -1
+	for i, r := range p.ranges {
+		if r.start == start && r.end == end {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("kernel: range %#x+%#x not onlined as a unit", start, size)
+	}
+	for a, order := range p.allocated {
+		aEnd := a + (mem.PhysAddr(mem.PageSize) << order)
+		if a < end && start < aEnd {
+			return fmt.Errorf("kernel: range %#x+%#x still has allocation at %#x", start, size, a)
+		}
+	}
+	// Drop free blocks inside the range.
+	for order := 0; order <= MaxOrder; order++ {
+		for a := range p.free[order] {
+			aEnd := a + (mem.PhysAddr(mem.PageSize) << order)
+			if a >= start && aEnd <= end {
+				delete(p.free[order], a)
+			} else if a < end && start < aEnd {
+				return fmt.Errorf("kernel: free block %#x straddles range boundary", a)
+			}
+		}
+	}
+	p.ranges = append(p.ranges[:idx], p.ranges[idx+1:]...)
+	p.totalPages -= int64(size / mem.PageSize)
+	return nil
+}
+
+// IsAllocated reports whether addr is the base of a live allocation.
+func (p *PageAlloc) IsAllocated(addr mem.PhysAddr) bool {
+	_, ok := p.allocated[addr]
+	return ok
+}
+
+// AllocatedIn returns the bases of live allocations inside [start, end),
+// in address order (used by evacuation).
+func (p *PageAlloc) AllocatedIn(start, end mem.PhysAddr) []mem.PhysAddr {
+	var out []mem.PhysAddr
+	for a := range p.allocated {
+		if a >= start && a < end {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalPages returns the onlined page count.
+func (p *PageAlloc) TotalPages() int64 { return p.totalPages }
+
+// UsedPages returns the allocated page count.
+func (p *PageAlloc) UsedPages() int64 { return p.usedPages }
+
+// FreePages returns the free page count.
+func (p *PageAlloc) FreePages() int64 { return p.totalPages - p.usedPages }
+
+// Pressure returns used/total in [0,1]; 0 when no memory is onlined.
+func (p *PageAlloc) Pressure() float64 {
+	if p.totalPages == 0 {
+		return 0
+	}
+	return float64(p.usedPages) / float64(p.totalPages)
+}
+
+// CheckInvariants verifies no free block overlaps another free block or a
+// live allocation (used by property tests).
+func (p *PageAlloc) CheckInvariants() error {
+	type blk struct {
+		start, end mem.PhysAddr
+	}
+	var all []blk
+	for order := 0; order <= MaxOrder; order++ {
+		for a := range p.free[order] {
+			all = append(all, blk{a, a + (mem.PhysAddr(mem.PageSize) << order)})
+		}
+	}
+	for a, order := range p.allocated {
+		all = append(all, blk{a, a + (mem.PhysAddr(mem.PageSize) << order)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+	for i := 1; i < len(all); i++ {
+		if all[i].start < all[i-1].end {
+			return fmt.Errorf("kernel: blocks overlap: [%#x,%#x) and [%#x,%#x)",
+				all[i-1].start, all[i-1].end, all[i].start, all[i].end)
+		}
+	}
+	return nil
+}

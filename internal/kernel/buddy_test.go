@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestBuddyAllocFree(t *testing.T) {
+	p := NewPageAlloc()
+	if err := p.AddRange(0x100000, 1<<20); err != nil { // 256 pages
+		t.Fatal(err)
+	}
+	if p.TotalPages() != 256 {
+		t.Errorf("TotalPages = %d", p.TotalPages())
+	}
+	a, err := p.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a&(mem.PageSize-1) != 0 {
+		t.Error("unaligned page")
+	}
+	if p.UsedPages() != 1 {
+		t.Errorf("UsedPages = %d", p.UsedPages())
+	}
+	if !p.IsAllocated(a) {
+		t.Error("IsAllocated false for live page")
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedPages() != 0 {
+		t.Errorf("UsedPages after free = %d", p.UsedPages())
+	}
+	if err := p.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestBuddyOrderAllocationAlignment(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0x400000, 8<<20)
+	for order := 0; order <= MaxOrder; order++ {
+		a, err := p.AllocPages(order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		align := mem.PhysAddr(mem.PageSize) << order
+		if a&(align-1) != 0 {
+			t.Errorf("order-%d block %#x not naturally aligned", order, a)
+		}
+		p.Free(a)
+	}
+	if _, err := p.AllocPages(MaxOrder + 1); err == nil {
+		t.Error("order beyond MaxOrder accepted")
+	}
+	if _, err := p.AllocPages(-1); err == nil {
+		t.Error("negative order accepted")
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0, 4<<20) // exactly one max-order block
+	var pages []mem.PhysAddr
+	for {
+		a, err := p.AllocPage()
+		if err != nil {
+			break
+		}
+		pages = append(pages, a)
+	}
+	if int64(len(pages)) != p.TotalPages() {
+		t.Fatalf("allocated %d, total %d", len(pages), p.TotalPages())
+	}
+	for _, a := range pages {
+		if err := p.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything, a max-order allocation must succeed again
+	// (full coalescing).
+	if _, err := p.AllocPages(MaxOrder); err != nil {
+		t.Errorf("coalescing failed: %v", err)
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0, 16*mem.PageSize)
+	for i := 0; i < 16; i++ {
+		if _, err := p.AllocPage(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := p.AllocPage(); err == nil {
+		t.Error("allocation beyond capacity succeeded")
+	}
+	if p.FreePages() != 0 {
+		t.Errorf("FreePages = %d", p.FreePages())
+	}
+	if p.Pressure() != 1 {
+		t.Errorf("Pressure = %f", p.Pressure())
+	}
+}
+
+func TestBuddyAddRangeValidation(t *testing.T) {
+	p := NewPageAlloc()
+	if err := p.AddRange(0x123, mem.PageSize); err == nil {
+		t.Error("unaligned start accepted")
+	}
+	if err := p.AddRange(0, 100); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	p.AddRange(0, 1<<20)
+	if err := p.AddRange(0x80000, 1<<20); err == nil {
+		t.Error("overlapping range accepted")
+	}
+}
+
+func TestBuddyRemoveRange(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0, 1<<20)
+	p.AddRange(mem.PhysAddr(4<<20), 1<<20)
+
+	// Allocate from the second range only after draining the first 256
+	// pages (lowest-address-first policy).
+	var inFirst []mem.PhysAddr
+	for i := 0; i < 256; i++ {
+		a, _ := p.AllocPage()
+		inFirst = append(inFirst, a)
+	}
+	a2, _ := p.AllocPage()
+	if a2 < mem.PhysAddr(4<<20) {
+		t.Fatalf("allocation %#x not from second range", a2)
+	}
+	// Removing the first range must fail while pages are live.
+	for _, a := range inFirst {
+		p.Free(a)
+	}
+	if err := p.RemoveRange(0, 1<<20); err != nil {
+		t.Fatalf("RemoveRange of free range failed: %v", err)
+	}
+	if p.TotalPages() != 256 {
+		t.Errorf("TotalPages after removal = %d", p.TotalPages())
+	}
+	// Allocations must now avoid the removed range.
+	for i := 0; i < 255; i++ {
+		a, err := p.AllocPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a < mem.PhysAddr(4<<20) {
+			t.Fatalf("allocated %#x from offlined range", a)
+		}
+	}
+	if err := p.RemoveRange(mem.PhysAddr(4<<20), 1<<20); err == nil {
+		t.Error("RemoveRange with live pages accepted")
+	}
+}
+
+func TestBuddyRemoveRangeMustMatchUnit(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0, 1<<20)
+	if err := p.RemoveRange(0, 1<<19); err == nil {
+		t.Error("partial range removal accepted")
+	}
+}
+
+func TestBuddyAllocatedIn(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0, 1<<20)
+	a1, _ := p.AllocPage()
+	a2, _ := p.AllocPage()
+	got := p.AllocatedIn(0, 1<<20)
+	if len(got) != 2 || got[0] != a1 || got[1] != a2 {
+		t.Errorf("AllocatedIn = %v", got)
+	}
+	if n := len(p.AllocatedIn(1<<19, 1<<20)); n != 0 {
+		t.Errorf("AllocatedIn empty region = %d", n)
+	}
+}
+
+func TestBuddyInvariantsUnderRandomOps(t *testing.T) {
+	rng := sim.NewRNG(7)
+	p := NewPageAlloc()
+	p.AddRange(0, 8<<20)
+	var live []mem.PhysAddr
+	for op := 0; op < 4000; op++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			order := rng.Intn(4)
+			a, err := p.AllocPages(order)
+			if err == nil {
+				live = append(live, a)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			if err := p.Free(live[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if op%200 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyDeterministicLowestFirst(t *testing.T) {
+	p := NewPageAlloc()
+	p.AddRange(0x1000000, 1<<20)
+	a, _ := p.AllocPage()
+	b, _ := p.AllocPage()
+	if a != 0x1000000 || b != 0x1001000 {
+		t.Errorf("allocation order %#x, %#x not lowest-first", a, b)
+	}
+}

@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+// EnsureTable returns the process's page table for node, creating it from
+// the node kernel's allocator on first use.
+func EnsureTable(ctx *Context, pt *hw.Port, proc *Process, node mem.NodeID) (*pgtable.Table, error) {
+	if proc.Tables[node] != nil {
+		return proc.Tables[node], nil
+	}
+	k := ctx.Kernel(node)
+	tbl, err := pgtable.New(pt, func() (mem.PhysAddr, error) { return k.AllocTablePage(pt) }, k.Fmt)
+	if err != nil {
+		return nil, err
+	}
+	proc.Tables[node] = tbl
+	return tbl, nil
+}
+
+// MapFrame installs va -> frame into proc's page table on node with the
+// given writability, charging the table walk and any intermediate table
+// allocations to pt. It returns the number of intermediate tables created.
+func MapFrame(ctx *Context, pt *hw.Port, proc *Process, node mem.NodeID, va pgtable.VirtAddr, frame mem.PhysAddr, writable bool) (int, error) {
+	tbl, err := EnsureTable(ctx, pt, proc, node)
+	if err != nil {
+		return 0, err
+	}
+	k := ctx.Kernel(node)
+	perms := pgtable.Perms{Present: true, User: true, Write: writable, Accessed: true}
+	created, err := tbl.Map(pt, func() (mem.PhysAddr, error) { return k.AllocTablePage(pt) }, va, uint64(frame>>mem.PageShift), perms)
+	if err != nil {
+		return created, err
+	}
+	meta := proc.Meta(va)
+	meta.Frames[node] = frame
+	meta.Valid[node] = true
+	proc.FlushTLB(node, va)
+	return created, nil
+}
+
+// UnmapFrame clears va from proc's table on node and invalidates TLBs.
+func UnmapFrame(pt *hw.Port, proc *Process, node mem.NodeID, va pgtable.VirtAddr) bool {
+	tbl := proc.Tables[node]
+	if tbl == nil {
+		return false
+	}
+	ok := tbl.Unmap(pt, va)
+	if m := proc.MetaIfAny(va); m != nil {
+		m.Valid[node] = false
+	}
+	proc.FlushTLB(node, va)
+	return ok
+}
+
+// WriteProtect downgrades va on node to read-only (DSM shared state).
+func WriteProtect(pt *hw.Port, proc *Process, node mem.NodeID, va pgtable.VirtAddr) bool {
+	tbl := proc.Tables[node]
+	if tbl == nil {
+		return false
+	}
+	ok := tbl.Protect(pt, va, func(p *pgtable.Perms) { p.Write = false })
+	proc.FlushTLB(node, va)
+	return ok
+}
+
+// VMALookupCost charges the cost of walking the process's VMA tree on the
+// authoritative copy living in ctrlPage: an RB-tree descent touches
+// O(log n) nodes; each probe is one cache-line read. Placing ctrlPage in
+// another node's memory makes this a remote walk (the Stramash software
+// remote VMA walker, §6.4).
+func VMALookupCost(pt *hw.Port, ctrlPage mem.PhysAddr, treeSize int) {
+	probes := 2
+	for n := treeSize; n > 1; n /= 2 {
+		probes++
+	}
+	for i := 0; i < probes; i++ {
+		pt.Read(ctrlPage+mem.PhysAddr((i*3%63)*mem.LineSize), 8)
+	}
+}
+
+// CheckVMA validates that va falls in a VMA permitting the access.
+func CheckVMA(proc *Process, va pgtable.VirtAddr, write bool) (*VMA, error) {
+	v := proc.VMAs.Find(va)
+	if v == nil {
+		return nil, fmt.Errorf("kernel: segfault: no vma for %#x in pid %d", va, proc.PID)
+	}
+	if write && v.Flags&VMAWrite == 0 {
+		return nil, fmt.Errorf("kernel: segfault: write to read-only vma %v", v)
+	}
+	return v, nil
+}
+
+// Vanilla is the no-migration baseline personality: one kernel instance
+// runs the application locally (the "Vanilla" bars of Figure 9). Faults
+// allocate local pages; migration is rejected; futexes are plain local
+// operations.
+type Vanilla struct {
+	Ctx *Context
+	// Futexes is the single-kernel futex table.
+	Futexes *FutexTable
+	// CtrlPages hold the per-process VMA control structures.
+	ctrlPages map[int]mem.PhysAddr
+}
+
+// NewVanilla boots the vanilla personality over a context. The futex
+// control page is allocated from the origin kernel at first use.
+func NewVanilla(ctx *Context) *Vanilla {
+	return &Vanilla{Ctx: ctx, ctrlPages: make(map[int]mem.PhysAddr)}
+}
+
+// Name implements OS.
+func (v *Vanilla) Name() string { return "vanilla" }
+
+// CreateProcess allocates process control state on the origin kernel.
+func (v *Vanilla) CreateProcess(pt *hw.Port, origin mem.NodeID) (*Process, error) {
+	k := v.Ctx.Kernel(origin)
+	proc := NewProcess(k.NextPID(), origin)
+	ctrl, err := k.AllocZeroedPage(pt)
+	if err != nil {
+		return nil, err
+	}
+	v.ctrlPages[proc.PID] = ctrl
+	if v.Futexes == nil {
+		fp, err := k.AllocZeroedPage(pt)
+		if err != nil {
+			return nil, err
+		}
+		v.Futexes = NewFutexTable(fp)
+	}
+	return proc, nil
+}
+
+// HandleFault implements OS: demand-zero allocation on the faulting node.
+func (v *Vanilla) HandleFault(t *Task, va pgtable.VirtAddr, write bool) error {
+	if _, err := CheckVMA(t.Proc, va, write); err != nil {
+		return err
+	}
+	t.Stats.NodeInstructions[t.Node] += 150
+	VMALookupCost(t.Port, v.ctrlPages[t.Proc.PID], t.Proc.VMAs.Len())
+	meta := t.Proc.Meta(va)
+	if meta.Valid[t.Node] {
+		// Present but the access needed write and the VMA allows it:
+		// upgrade in place (vanilla never write-protects anon pages, so
+		// this only happens for fresh metadata races; remap writable).
+		_, err := MapFrame(v.Ctx, t.Port, t.Proc, t.Node, va, meta.Frames[t.Node], true)
+		return err
+	}
+	k := v.Ctx.Kernel(t.Node)
+	frame, err := k.AllocZeroedPage(t.Port)
+	if err != nil {
+		return err
+	}
+	meta.FrameOwner[t.Node] = t.Node
+	writable := true
+	if _, err := MapFrame(v.Ctx, t.Port, t.Proc, t.Node, va, frame, writable); err != nil {
+		return err
+	}
+	t.Proc.FaultsHandled[t.Node]++
+	return nil
+}
+
+// MigrateTask implements OS: vanilla has a single kernel instance.
+func (v *Vanilla) MigrateTask(t *Task, to mem.NodeID) error {
+	return fmt.Errorf("kernel: vanilla OS cannot migrate across kernels")
+}
+
+// FutexWait implements OS.
+func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) error {
+	f := v.Futexes.Get(t.Proc.PID, uaddr)
+	f.Lock(t.Port)
+	val, err := FutexLoadValue(v.Ctx, t.Port, t.Proc, uaddr)
+	if err != nil {
+		f.Unlock(t.Port)
+		return err
+	}
+	if val != expected {
+		f.Unlock(t.Port)
+		return ErrFutexRetry
+	}
+	f.Enqueue(t.Port, t)
+	f.Unlock(t.Port)
+	t.Stats.FutexWaits++
+	t.Th.Block("futex")
+	return nil
+}
+
+// FutexWake implements OS.
+func (v *Vanilla) FutexWake(t *Task, uaddr pgtable.VirtAddr, n int) (int, error) {
+	f := v.Futexes.Get(t.Proc.PID, uaddr)
+	f.Lock(t.Port)
+	woken := f.Dequeue(t.Port, n)
+	f.Unlock(t.Port)
+	for _, w := range woken {
+		v.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+500)
+	}
+	t.Stats.FutexWakes += int64(len(woken))
+	return len(woken), nil
+}
+
+// ExitTask implements OS: unmap and free everything.
+func (v *Vanilla) ExitTask(t *Task) error {
+	return ReleaseProcessPages(v.Ctx, t.Port, t.Proc, func(node mem.NodeID, m *PageMeta) mem.NodeID {
+		return m.FrameOwner[node]
+	})
+}
+
+// ReleaseProcessPages unmaps every page of proc and frees each frame to
+// the allocator chosen by owner (per node). Used by every personality's
+// exit path; the owner policy is what §6.4 varies.
+func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(mem.NodeID, *PageMeta) mem.NodeID) error {
+	freed := make(map[mem.PhysAddr]bool)
+	for va, m := range proc.Pages {
+		for n := 0; n < 2; n++ {
+			node := mem.NodeID(n)
+			if !m.Valid[node] {
+				continue
+			}
+			UnmapFrame(pt, proc, node, va)
+			fr := m.Frames[node]
+			if freed[fr] {
+				continue
+			}
+			own := owner(node, m)
+			if own == mem.NodeNone {
+				own = node
+			}
+			if ctx.Kernel(own).Alloc.IsAllocated(fr) {
+				if err := ctx.Kernel(own).Alloc.Free(fr); err != nil {
+					return err
+				}
+				freed[fr] = true
+				pt.T.Advance(AllocCost)
+			}
+		}
+	}
+	proc.FlushAllTLBs()
+	return nil
+}
+
+// TouchStructure charges n cache-line reads of a kernel structure at base,
+// modelling pointer-chasing through kernel objects.
+func TouchStructure(pt *hw.Port, base mem.PhysAddr, lines int) {
+	for i := 0; i < lines; i++ {
+		pt.Read(base+mem.PhysAddr(i*mem.LineSize), 8)
+	}
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+// FutexTable is the kernel's fast-userspace-mutex state. Each futex has a
+// control block in simulated memory — a lock word protecting the waiter
+// list — so that the cost of manipulating the list is real memory traffic.
+// Under the multiple-kernel baseline the table lives at the origin kernel
+// and remote kernels reach it by RPC; under the fused-kernel OS the remote
+// kernel manipulates it directly through cache-coherent shared memory and
+// wakes cross-ISA waiters with a single IPI (§6.5, Figure 13).
+type FutexTable struct {
+	// controlBase is the simulated memory region holding per-futex control
+	// blocks (allocated from the owning kernel's memory).
+	controlBase mem.PhysAddr
+	nextBlock   int
+	buckets     map[futexKey]*Futex
+}
+
+type futexKey struct {
+	pid   int
+	uaddr pgtable.VirtAddr
+}
+
+// futexBlockSize is the control block footprint: lock word, waiter count,
+// list head/tail pointers (4 x 8 bytes, padded to a cache line).
+const futexBlockSize = mem.LineSize
+
+// Futex is one futex: its control block address and its waiter queue.
+type Futex struct {
+	Control mem.PhysAddr
+	waiters []*Task
+}
+
+// NewFutexTable creates a table whose control blocks live in the page at
+// base (the caller allocates it from kernel memory).
+func NewFutexTable(base mem.PhysAddr) *FutexTable {
+	return &FutexTable{controlBase: base, buckets: make(map[futexKey]*Futex)}
+}
+
+// Get returns (creating if needed) the futex for (pid, uaddr).
+func (ft *FutexTable) Get(pid int, uaddr pgtable.VirtAddr) *Futex {
+	k := futexKey{pid, uaddr}
+	f := ft.buckets[k]
+	if f == nil {
+		f = &Futex{Control: ft.controlBase + mem.PhysAddr(ft.nextBlock*futexBlockSize)}
+		ft.nextBlock++
+		ft.buckets[k] = f
+	}
+	return f
+}
+
+// Lock acquires the futex control lock with a CAS spin through pt,
+// charging realistic contention costs.
+func (f *Futex) Lock(pt *hw.Port) {
+	for i := 0; ; i++ {
+		if _, ok := pt.CompareAndSwap64(f.Control, 0, 1); ok {
+			return
+		}
+		pt.T.Advance(50) // backoff
+		pt.T.YieldPoint()
+		if i > 1_000_000 {
+			panic(fmt.Sprintf("kernel: futex control lock livelock at %#x", f.Control))
+		}
+	}
+}
+
+// Unlock releases the control lock.
+func (f *Futex) Unlock(pt *hw.Port) {
+	pt.Write64(f.Control, 0)
+}
+
+// Enqueue appends t to the waiter list, charging the list update. The
+// caller holds the control lock.
+func (f *Futex) Enqueue(pt *hw.Port, t *Task) {
+	f.waiters = append(f.waiters, t)
+	pt.Write64(f.Control+8, uint64(len(f.waiters)))
+}
+
+// Dequeue removes up to n waiters, charging the list update. The caller
+// holds the control lock.
+func (f *Futex) Dequeue(pt *hw.Port, n int) []*Task {
+	if n > len(f.waiters) {
+		n = len(f.waiters)
+	}
+	out := f.waiters[:n]
+	f.waiters = append([]*Task(nil), f.waiters[n:]...)
+	pt.Write64(f.Control+8, uint64(len(f.waiters)))
+	return out
+}
+
+// Waiters returns the current waiter count.
+func (f *Futex) Waiters() int { return len(f.waiters) }
+
+// ErrFutexRetry reports that the userspace word no longer held the
+// expected value when FutexWait checked it under the lock (EAGAIN); the
+// caller re-examines the word and retries its locking protocol.
+var ErrFutexRetry = fmt.Errorf("kernel: futex value changed (EAGAIN)")
+
+// FutexLoadValue reads the current userspace value of uaddr through the
+// most authoritative mapping: a node holding the page DSM-exclusive wins,
+// then any valid mapping. The read is charged to pt.
+func FutexLoadValue(ctx *Context, pt *hw.Port, proc *Process, uaddr pgtable.VirtAddr) (uint64, error) {
+	meta := proc.MetaIfAny(uaddr)
+	if meta == nil {
+		return 0, fmt.Errorf("kernel: futex word %#x never touched", uaddr)
+	}
+	off := mem.PhysAddr(uaddr & (mem.PageSize - 1))
+	for n := 0; n < 2; n++ {
+		if meta.Valid[n] && meta.DSM[n] == DSMExclusive {
+			return pt.Read64(meta.Frames[n] + off), nil
+		}
+	}
+	for n := 0; n < 2; n++ {
+		if meta.Valid[n] {
+			return pt.Read64(meta.Frames[n] + off), nil
+		}
+	}
+	return 0, fmt.Errorf("kernel: futex word %#x not mapped anywhere", uaddr)
+}

@@ -1,0 +1,123 @@
+package kernel
+
+import "fmt"
+
+// Namespaces is the set of kernel namespaces a process observes: mount,
+// PID, net, UTS, user, and cgroup (§6.6). The fused-kernel OS gives both
+// kernel instances the *same* Namespaces value so a migrating application
+// sees an identical environment; the multiple-kernel baseline keeps one
+// replica per kernel and synchronizes pieces at migration time.
+type Namespaces struct {
+	UTSName string
+	// Mounts maps mount points to filesystem identifiers.
+	Mounts map[string]string
+	// PIDNS maps global PIDs to per-namespace PIDs.
+	PIDNS map[int]int
+	// NetIfaces lists network interface names.
+	NetIfaces []string
+	// Users maps UIDs to names.
+	Users map[int]string
+	// CgroupRoot is the cgroup hierarchy root path.
+	CgroupRoot string
+	// CPUList is the fused CPU topology: every kernel instance advertises
+	// the same list of CPUs with node tags (§6.6).
+	CPUList []CPUInfo
+}
+
+// CPUInfo describes one CPU in the fused topology.
+type CPUInfo struct {
+	ID      int
+	Node    int
+	ISAName string
+}
+
+// NewNamespaces returns a default namespace set for a host name.
+func NewNamespaces(uts string) *Namespaces {
+	return &Namespaces{
+		UTSName:    uts,
+		Mounts:     map[string]string{"/": "rootfs", "/proc": "proc", "/sys": "sysfs"},
+		PIDNS:      make(map[int]int),
+		NetIfaces:  []string{"lo", "eth0"},
+		Users:      map[int]string{0: "root"},
+		CgroupRoot: "/sys/fs/cgroup",
+	}
+}
+
+// FuseCPULists installs the same CPU topology into a namespace set; under
+// the fused personality both kernels point here.
+func (n *Namespaces) FuseCPULists(perNode []int, isaNames []string) {
+	n.CPUList = n.CPUList[:0]
+	id := 0
+	for node, count := range perNode {
+		for i := 0; i < count; i++ {
+			n.CPUList = append(n.CPUList, CPUInfo{ID: id, Node: node, ISAName: isaNames[node]})
+			id++
+		}
+	}
+}
+
+// Clone deep-copies the namespaces (the multiple-kernel baseline keeps
+// per-kernel replicas, which can drift and must be re-synced at migration).
+func (n *Namespaces) Clone() *Namespaces {
+	c := &Namespaces{
+		UTSName:    n.UTSName,
+		Mounts:     make(map[string]string, len(n.Mounts)),
+		PIDNS:      make(map[int]int, len(n.PIDNS)),
+		NetIfaces:  append([]string(nil), n.NetIfaces...),
+		Users:      make(map[int]string, len(n.Users)),
+		CgroupRoot: n.CgroupRoot,
+		CPUList:    append([]CPUInfo(nil), n.CPUList...),
+	}
+	for k, v := range n.Mounts {
+		c.Mounts[k] = v
+	}
+	for k, v := range n.PIDNS {
+		c.PIDNS[k] = v
+	}
+	for k, v := range n.Users {
+		c.Users[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two namespace sets present the same environment.
+func (n *Namespaces) Equal(o *Namespaces) bool {
+	if n.UTSName != o.UTSName || n.CgroupRoot != o.CgroupRoot {
+		return false
+	}
+	if len(n.Mounts) != len(o.Mounts) || len(n.PIDNS) != len(o.PIDNS) ||
+		len(n.Users) != len(o.Users) || len(n.NetIfaces) != len(o.NetIfaces) ||
+		len(n.CPUList) != len(o.CPUList) {
+		return false
+	}
+	for k, v := range n.Mounts {
+		if o.Mounts[k] != v {
+			return false
+		}
+	}
+	for k, v := range n.PIDNS {
+		if o.PIDNS[k] != v {
+			return false
+		}
+	}
+	for k, v := range n.Users {
+		if o.Users[k] != v {
+			return false
+		}
+	}
+	for i, v := range n.NetIfaces {
+		if o.NetIfaces[i] != v {
+			return false
+		}
+	}
+	for i, v := range n.CPUList {
+		if o.CPUList[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Namespaces) String() string {
+	return fmt.Sprintf("ns(%s, %d mounts, %d cpus)", n.UTSName, len(n.Mounts), len(n.CPUList))
+}

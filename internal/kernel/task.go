@@ -1,0 +1,402 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// tlbEntry caches a virtual-to-physical translation on one node.
+type tlbEntry struct {
+	frame    mem.PhysAddr
+	writable bool
+}
+
+// TaskStats counts per-task events for the evaluation breakdowns.
+type TaskStats struct {
+	Loads, Stores   int64
+	Instructions    int64
+	ReadFaults      int64
+	WriteFaults     int64
+	Migrations      int64
+	TLBMisses       int64
+	FutexWaits      int64
+	FutexWakes      int64
+	MigrationCycles sim.Cycles
+	FaultCycles     sim.Cycles
+	ComputeCycles   sim.Cycles
+	MemAccessCycles sim.Cycles
+
+	// Per-node attribution, the data the perf+icount tool reads (§7.3):
+	// retired instructions (compute + memory ops) and residency cycles on
+	// each ISA.
+	NodeInstructions [2]int64
+	NodeCycles       [2]sim.Cycles
+}
+
+// Task is one schedulable thread of a process, bound at any instant to one
+// node (one ISA). Workloads are written against its Load/Store/Compute/
+// Migrate interface; every call moves real bytes and charges simulated
+// cycles through the cache model and, when faults or migrations occur,
+// through the OS personality.
+type Task struct {
+	Name string
+	Proc *Process
+	OS   OS
+	Ctx  *Context
+
+	Node mem.NodeID
+	Core int
+	Th   *sim.Thread
+	Port *hw.Port
+
+	// tlb caches translations per node; flushed on migration and shot down
+	// on PTE downgrades.
+	tlb [2]map[pgtable.VirtAddr]tlbEntry
+
+	// CodeWin models the instruction footprint of the running phase.
+	CodeWin *hw.CodeWindow
+
+	Stats  TaskStats
+	exited bool
+
+	statsBase  TaskStats
+	timedStart sim.Cycles
+	bindStart  sim.Cycles
+}
+
+// BeginTimed marks the start of the benchmark's timed region (NPB times
+// only the iteration loop, not data initialization). TimedStats and
+// TimedCycles report deltas from this point.
+func (t *Task) BeginTimed() {
+	t.statsBase = t.Stats
+	t.timedStart = t.Th.Now()
+}
+
+// TimedCycles returns cycles elapsed since BeginTimed (or task start).
+func (t *Task) TimedCycles() sim.Cycles { return t.Th.Now() - t.timedStart }
+
+// TimedStats returns the counter deltas since BeginTimed.
+func (t *Task) TimedStats() TaskStats {
+	d := t.Stats
+	d.Loads -= t.statsBase.Loads
+	d.Stores -= t.statsBase.Stores
+	d.Instructions -= t.statsBase.Instructions
+	d.ReadFaults -= t.statsBase.ReadFaults
+	d.WriteFaults -= t.statsBase.WriteFaults
+	d.Migrations -= t.statsBase.Migrations
+	d.TLBMisses -= t.statsBase.TLBMisses
+	d.FutexWaits -= t.statsBase.FutexWaits
+	d.FutexWakes -= t.statsBase.FutexWakes
+	d.MigrationCycles -= t.statsBase.MigrationCycles
+	d.FaultCycles -= t.statsBase.FaultCycles
+	d.ComputeCycles -= t.statsBase.ComputeCycles
+	d.MemAccessCycles -= t.statsBase.MemAccessCycles
+	for n := 0; n < 2; n++ {
+		d.NodeInstructions[n] -= t.statsBase.NodeInstructions[n]
+		d.NodeCycles[n] -= t.statsBase.NodeCycles[n]
+	}
+	return d
+}
+
+// NewTask binds a simulated thread to a process under an OS personality.
+// The task starts on the process's origin node.
+func NewTask(name string, proc *Process, os OS, ctx *Context, th *sim.Thread) *Task {
+	t := &Task{
+		Name: name,
+		Proc: proc,
+		OS:   os,
+		Ctx:  ctx,
+		Node: proc.Origin,
+		Th:   th,
+	}
+	t.Port = ctx.Plat.NewPort(t.Node, t.Core, th)
+	t.tlb[0] = make(map[pgtable.VirtAddr]tlbEntry)
+	t.tlb[1] = make(map[pgtable.VirtAddr]tlbEntry)
+	t.CodeWin = hw.NewCodeWindow(0x1000, 8<<10)
+	t.bindStart = th.Now()
+	proc.Tasks = append(proc.Tasks, t)
+	return t
+}
+
+// accountResidency closes the current node-residency interval.
+func (t *Task) accountResidency() {
+	t.Stats.NodeCycles[t.Node] += t.Th.Now() - t.bindStart
+	t.bindStart = t.Th.Now()
+}
+
+// NodeTime returns the cycles the task has spent bound to node so far.
+func (t *Task) NodeTime(node mem.NodeID) sim.Cycles {
+	c := t.Stats.NodeCycles[node]
+	if node == t.Node {
+		c += t.Th.Now() - t.bindStart
+	}
+	return c
+}
+
+// tryTranslate resolves va without taking faults: TLB first, then a
+// charged hardware walk. It must be called inside an atomic section so no
+// other thread can downgrade the mapping between this check and the data
+// access that follows (the hardware equivalent: stores retire before a TLB
+// shootdown completes).
+func (t *Task) tryTranslate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, bool) {
+	pva := va &^ (mem.PageSize - 1)
+	if e, ok := t.tlb[t.Node][pva]; ok && (!write || e.writable) {
+		return e.frame + mem.PhysAddr(va-pva), true
+	}
+	t.Stats.TLBMisses++
+	tbl := t.Proc.Tables[t.Node]
+	if tbl == nil {
+		return 0, false
+	}
+	pfn, perms, ok := tbl.Walk(t.Port, pva)
+	if !ok || !perms.Present || (write && !perms.Write) {
+		return 0, false
+	}
+	fr := mem.PhysAddr(pfn << mem.PageShift)
+	t.tlb[t.Node][pva] = tlbEntry{frame: fr, writable: perms.Write}
+	return fr + mem.PhysAddr(va-pva), true
+}
+
+// access translates va and runs fn(pa) atomically with respect to the
+// simulation scheduler, taking OS faults (outside the atomic section) as
+// needed.
+func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr)) error {
+	pva := va &^ (mem.PageSize - 1)
+	for attempt := 0; attempt < 4; attempt++ {
+		t.Th.BeginAtomic()
+		if pa, ok := t.tryTranslate(va, write); ok {
+			fn(pa)
+			t.Th.EndAtomic()
+			return nil
+		}
+		t.Th.EndAtomic()
+
+		start := t.Th.Now()
+		if write {
+			t.Stats.WriteFaults++
+		} else {
+			t.Stats.ReadFaults++
+		}
+		if err := t.OS.HandleFault(t, pva, write); err != nil {
+			return fmt.Errorf("kernel: fault at %#x (write=%v) on %v: %w", va, write, t.Node, err)
+		}
+		t.Stats.FaultCycles += t.Th.Now() - start
+	}
+	return fmt.Errorf("kernel: fault loop at %#x on %v", va, t.Node)
+}
+
+// translate resolves va for an access, invoking the OS fault path on
+// misses. Callers that separate translation from the data access (Fetch)
+// use it; data paths use access for atomicity.
+func (t *Task) translate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, error) {
+	var out mem.PhysAddr
+	err := t.access(va, write, func(pa mem.PhysAddr) { out = pa })
+	return out, err
+}
+
+// Load reads size bytes at va (size <= 8 returns the value).
+func (t *Task) Load(va pgtable.VirtAddr, size int) (uint64, error) {
+	t.Stats.Loads++
+	t.Stats.NodeInstructions[t.Node]++
+	start := t.Th.Now()
+	var out uint64
+	err := t.access(va, false, func(pa mem.PhysAddr) {
+		b := t.Port.Read(pa, size)
+		for i := 0; i < len(b) && i < 8; i++ {
+			out |= uint64(b[i]) << (8 * uint(i))
+		}
+	})
+	t.Stats.MemAccessCycles += t.Th.Now() - start
+	return out, err
+}
+
+// Store writes size bytes of v at va.
+func (t *Task) Store(va pgtable.VirtAddr, size int, v uint64) error {
+	t.Stats.Stores++
+	t.Stats.NodeInstructions[t.Node]++
+	start := t.Th.Now()
+	b := make([]byte, size)
+	for i := 0; i < size && i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	err := t.access(va, true, func(pa mem.PhysAddr) {
+		t.Port.Write(pa, b)
+	})
+	t.Stats.MemAccessCycles += t.Th.Now() - start
+	return err
+}
+
+// ReadBytes copies n bytes starting at va (page-crossing allowed).
+func (t *Task) ReadBytes(va pgtable.VirtAddr, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		chunk := mem.PageSize - int(va&(mem.PageSize-1))
+		if chunk > n {
+			chunk = n
+		}
+		if err := t.access(va, false, func(pa mem.PhysAddr) {
+			out = append(out, t.Port.Read(pa, chunk)...)
+		}); err != nil {
+			return nil, err
+		}
+		va += pgtable.VirtAddr(chunk)
+		n -= chunk
+	}
+	t.Stats.Loads++
+	return out, nil
+}
+
+// WriteBytes stores data starting at va (page-crossing allowed).
+func (t *Task) WriteBytes(va pgtable.VirtAddr, data []byte) error {
+	for len(data) > 0 {
+		chunk := mem.PageSize - int(va&(mem.PageSize-1))
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		if err := t.access(va, true, func(pa mem.PhysAddr) {
+			t.Port.Write(pa, data[:chunk])
+		}); err != nil {
+			return err
+		}
+		va += pgtable.VirtAddr(chunk)
+		data = data[chunk:]
+	}
+	t.Stats.Stores++
+	return nil
+}
+
+// CAS performs a cross-ISA atomic compare-and-swap on the 64-bit word at
+// va (x86 LOCK CMPXCHG / Arm LSE CAS, §6.5). The explicit yield point
+// before the access gives competing threads a fair shot at the line while
+// keeping check-and-swap indivisible.
+func (t *Task) CAS(va pgtable.VirtAddr, old, new uint64) (uint64, bool, error) {
+	t.Th.YieldPoint()
+	var prev uint64
+	var ok bool
+	err := t.access(va, true, func(pa mem.PhysAddr) {
+		prev, ok = t.Port.CompareAndSwap64(pa, old, new)
+	})
+	return prev, ok, err
+}
+
+// Compute executes n ALU instructions at the node's fixed non-memory IPC.
+func (t *Task) Compute(n int64) {
+	start := t.Th.Now()
+	t.Port.Compute(n, t.CodeWin)
+	t.Stats.Instructions += n
+	t.Stats.NodeInstructions[t.Node] += n
+	t.Stats.ComputeCycles += t.Th.Now() - start
+}
+
+// Migrate moves the task to the other node through the OS personality's
+// migration service, then rebinds the hardware context.
+func (t *Task) Migrate(to mem.NodeID) error {
+	if to == t.Node {
+		return nil
+	}
+	start := t.Th.Now()
+	if err := t.OS.MigrateTask(t, to); err != nil {
+		return err
+	}
+	t.Stats.Migrations++
+	t.Stats.MigrationCycles += t.Th.Now() - start
+	return nil
+}
+
+// Rebind switches the task's hardware binding to node (called by OS
+// personalities at the end of their migration protocol).
+func (t *Task) Rebind(node mem.NodeID) {
+	t.accountResidency()
+	t.Node = node
+	t.Port = t.Ctx.Plat.NewPort(node, t.Core, t.Th)
+	// The new CPU's TLB is cold for this task.
+	t.tlb[node] = make(map[pgtable.VirtAddr]tlbEntry)
+}
+
+// InvalidateTLB drops the cached translation of va on this task.
+func (t *Task) InvalidateTLB(node mem.NodeID, va pgtable.VirtAddr) {
+	delete(t.tlb[node], va&^(mem.PageSize-1))
+}
+
+// Exit terminates the task through the OS personality.
+func (t *Task) Exit() error {
+	if t.exited {
+		return nil
+	}
+	t.exited = true
+	return t.OS.ExitTask(t)
+}
+
+// Exited reports whether Exit has run.
+func (t *Task) Exited() bool { return t.exited }
+
+// Fetch charges an instruction fetch (used by the ISA bus adapter).
+func (t *Task) Fetch(va pgtable.VirtAddr, n int) {
+	// Code pages are mapped like data; translate without write.
+	pa, err := t.translate(va, false)
+	if err != nil {
+		// Fetch faults surface on the next data access; charge a miss.
+		t.Th.Advance(100)
+		return
+	}
+	t.Port.Fetch(pa, n)
+}
+
+// Bus adapts the task to the isa.Bus interface so compiled programs can
+// execute on it with full translation and timing.
+type Bus struct {
+	T *Task
+	// OnMigrate, when set, handles MIGRATE instructions; otherwise they
+	// are ignored.
+	OnMigrate func(id int)
+	// Err records the first access error (the ISA layer has no error path
+	// for memory operations, matching hardware, where these are traps).
+	Err error
+}
+
+// Fetch implements isa.Bus.
+func (b *Bus) Fetch(va uint64, n int) { b.T.Fetch(pgtable.VirtAddr(va), n) }
+
+// Load implements isa.Bus.
+func (b *Bus) Load(va uint64, n int) uint64 {
+	v, err := b.T.Load(pgtable.VirtAddr(va), n)
+	if err != nil && b.Err == nil {
+		b.Err = err
+	}
+	return v
+}
+
+// Store implements isa.Bus.
+func (b *Bus) Store(va uint64, n int, v uint64) {
+	if err := b.T.Store(pgtable.VirtAddr(va), n, v); err != nil && b.Err == nil {
+		b.Err = err
+	}
+}
+
+// CAS implements isa.Bus.
+func (b *Bus) CAS(va uint64, old, new uint64) (uint64, bool) {
+	prev, ok, err := b.T.CAS(pgtable.VirtAddr(va), old, new)
+	if err != nil && b.Err == nil {
+		b.Err = err
+	}
+	return prev, ok
+}
+
+// Migrate implements isa.Bus.
+func (b *Bus) Migrate(id int) {
+	if b.OnMigrate != nil {
+		b.OnMigrate(id)
+	}
+}
+
+// Touch charges a single cache access of the given kind without data
+// movement; used by OS code modelling structure walks.
+func (t *Task) Touch(kind cache.Kind, pa mem.PhysAddr, size int) {
+	lat := t.Ctx.Plat.Caches.Access(t.Node, t.Core, kind, pa, size)
+	t.Th.Advance(lat)
+}

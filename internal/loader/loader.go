@@ -1,0 +1,152 @@
+// Package loader runs programs compiled by the minicc toolchain as real
+// processes on the simulated machine: the per-ISA binaries are mapped into
+// the process's address space, the node's CPU interpreter executes them
+// instruction by instruction — every fetch, load and store translated by
+// the kernel's page tables and charged through the cache model — and
+// MIGRATE instructions hand execution to the other ISA through the
+// operating system's migration service plus the compiler's state
+// transformation (§5's execution model, end to end).
+package loader
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/minicc"
+	"repro/internal/pgtable"
+	"repro/internal/xlate"
+)
+
+// Policy decides what to do at a migration point: return the node to
+// continue on (possibly the current one to stay put).
+type Policy func(pointID int, current mem.NodeID) mem.NodeID
+
+// MigrateEvery returns a policy that bounces to the other node at every
+// migration point (the paper's offload pattern).
+func MigrateEvery() Policy {
+	return func(_ int, cur mem.NodeID) mem.NodeID { return kernel.Other(cur) }
+}
+
+// StayHome never migrates.
+func StayHome() Policy {
+	return func(_ int, cur mem.NodeID) mem.NodeID { return cur }
+}
+
+// Image is a program loaded into a process's address space.
+type Image struct {
+	Compiled *minicc.Compiled
+	// CodeBase[n] is where node n's binary is mapped.
+	CodeBase [2]pgtable.VirtAddr
+	// StackTop[n] is each ISA's initial stack pointer.
+	StackTop [2]pgtable.VirtAddr
+}
+
+// Load maps both ISA binaries and a stack into t's process. Binaries are
+// written through the task (charged, demand-paged like an execve would).
+func Load(t *kernel.Task, c *minicc.Compiled) (*Image, error) {
+	img := &Image{Compiled: c}
+	codes := [2][]byte{c.X86Code, c.ArmCode}
+	names := [2]string{"text.x86", "text.arm"}
+	for n := 0; n < 2; n++ {
+		base, err := t.Proc.MmapAligned(uint64(len(codes[n]))+mem.PageSize, mem.PageSize,
+			kernel.VMARead|kernel.VMAWrite|kernel.VMAExec, names[n])
+		if err != nil {
+			return nil, err
+		}
+		if err := t.WriteBytes(base, codes[n]); err != nil {
+			return nil, err
+		}
+		img.CodeBase[n] = base
+	}
+	for n := 0; n < 2; n++ {
+		stack, err := t.Proc.Mmap(64<<10, kernel.VMARead|kernel.VMAWrite, "stack")
+		if err != nil {
+			return nil, err
+		}
+		img.StackTop[n] = stack + 64<<10
+	}
+	return img, nil
+}
+
+// Result reports a finished program.
+type Result struct {
+	// VRegs is the final virtual register file (ISA-neutral).
+	VRegs []uint64
+	// Instructions retired per ISA.
+	Instructions [2]int64
+	// Migrations performed.
+	Migrations int
+	// FinalNode is where the program halted.
+	FinalNode mem.NodeID
+}
+
+// Run executes the image on t, starting on t's current node, migrating per
+// policy, until the program halts or maxSteps instructions retire.
+func Run(t *kernel.Task, img *Image, policy Policy, maxSteps int64) (*Result, error) {
+	c := img.Compiled
+	arches := [2]isa.Arch{isa.X86, isa.Arm64}
+	cpus := [2]isa.CPU{
+		isa.NewX86CPU(uint64(img.CodeBase[0]), uint64(img.StackTop[0])),
+		isa.NewArmCPU(uint64(img.CodeBase[1]), uint64(img.StackTop[1])),
+	}
+	codes := [2][]byte{c.X86Code, c.ArmCode}
+
+	res := &Result{}
+	cur := int(t.Node)
+	bus := &kernel.Bus{T: t}
+	var migrateTo mem.NodeID = mem.NodeNone
+	bus.OnMigrate = func(id int) {
+		dst := policy(id, t.Node)
+		if dst != t.Node {
+			migrateTo = dst
+			// Record the resume PC of the destination binary.
+			pc, ok := c.PointPC(arches[dst], id)
+			if !ok {
+				bus.Err = fmt.Errorf("loader: no migration point %d for %v", id, dst)
+				return
+			}
+			if _, err := xlate.Transform(cpus[cur], cpus[dst], c.IR.NumVRegs,
+				c.RegMapFor(arches[cur]), c.RegMapFor(arches[dst]),
+				uint64(img.CodeBase[dst])+pc, id); err != nil {
+				bus.Err = err
+			}
+		}
+	}
+
+	for steps := int64(0); steps < maxSteps; steps++ {
+		cpu := cpus[cur]
+		if cpu.Halted() {
+			break
+		}
+		if err := cpu.Step(bus, codes[cur], uint64(img.CodeBase[cur])); err != nil {
+			return nil, err
+		}
+		if bus.Err != nil {
+			return nil, bus.Err
+		}
+		if migrateTo != mem.NodeNone {
+			// Execution state is already transformed; move the task through
+			// the OS (costs: the personality's migration protocol).
+			if err := t.Migrate(migrateTo); err != nil {
+				return nil, err
+			}
+			cur = int(migrateTo)
+			migrateTo = mem.NodeNone
+			res.Migrations++
+		}
+	}
+	if !cpus[cur].Halted() {
+		return nil, fmt.Errorf("loader: program did not halt within %d steps", maxSteps)
+	}
+	res.FinalNode = mem.NodeID(cur)
+	res.Instructions[0] = cpus[0].InstrCount()
+	res.Instructions[1] = cpus[1].InstrCount()
+	res.VRegs = make([]uint64, c.IR.NumVRegs)
+	rm := c.RegMapFor(arches[cur])
+	for v := range res.VRegs {
+		res.VRegs[v] = cpus[cur].Reg(rm(v))
+	}
+	return res, nil
+}

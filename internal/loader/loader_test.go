@@ -1,0 +1,203 @@
+package loader
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/minicc"
+	"repro/internal/pgtable"
+)
+
+// runProgram loads and runs a compiled program on a fresh machine.
+func runProgram(t *testing.T, osKind machine.OSKind, prog *minicc.Program, policy Policy, seed func(task *kernel.Task) error) *Result {
+	t.Helper()
+	m, err := machine.New(machine.Config{Model: mem.Shared, OS: osKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := minicc.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *Result
+	_, err = m.RunSingle("prog", mem.NodeX86, func(task *kernel.Task) error {
+		if seed != nil {
+			if err := seed(task); err != nil {
+				return err
+			}
+		}
+		img, err := Load(task, c)
+		if err != nil {
+			return err
+		}
+		out, err = Run(task, img, policy, 10_000_000)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sumProgram builds a sum-loop over n words at dataBase with the expected
+// result.
+func sumProgram(dataBase pgtable.VirtAddr, n int64) (*minicc.Program, uint64) {
+	prog := minicc.SampleSumLoop(uint64(dataBase), n)
+	var want uint64
+	for i := uint64(0); i < uint64(n); i++ {
+		want += i*9 + 3
+	}
+	return prog, want
+}
+
+// seedData writes the input array the programs sum.
+func seedData(dataBase pgtable.VirtAddr, n int64) func(task *kernel.Task) error {
+	return func(task *kernel.Task) error {
+		if _, err := task.Proc.Mmap(uint64(n)*8+mem.PageSize, kernel.VMARead|kernel.VMAWrite, "data"); err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if err := task.Store(dataBase+pgtable.VirtAddr(i*8), 8, uint64(i*9+3)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestCompiledProgramRunsWithoutMigration(t *testing.T) {
+	dataBase := kernel.UserBase
+	prog, want := sumProgram(dataBase, 16)
+	res := runProgram(t, machine.StramashOS, prog, StayHome(), seedData(dataBase, 16))
+	if res.VRegs[0] != want {
+		t.Errorf("sum = %d, want %d", res.VRegs[0], want)
+	}
+	if res.Migrations != 0 || res.FinalNode != mem.NodeX86 {
+		t.Errorf("unexpected migration: %+v", res)
+	}
+	if res.Instructions[0] == 0 || res.Instructions[1] != 0 {
+		t.Errorf("instruction counts %v", res.Instructions)
+	}
+}
+
+func TestCompiledProgramMigratesThroughOS(t *testing.T) {
+	for _, osKind := range []machine.OSKind{machine.StramashOS, machine.PopcornSHM} {
+		osKind := osKind
+		t.Run(osKind.String(), func(t *testing.T) {
+			dataBase := kernel.UserBase
+			prog, want := sumProgram(dataBase, 16)
+			res := runProgram(t, osKind, prog, MigrateEvery(), seedData(dataBase, 16))
+			if res.VRegs[0] != want {
+				t.Errorf("migrated sum = %d, want %d", res.VRegs[0], want)
+			}
+			if res.Migrations == 0 {
+				t.Error("no migrations performed")
+			}
+			// The SampleSumLoop migrates once (point at the midpoint), so
+			// the program finishes on the Arm node executing SARM code.
+			if res.FinalNode != mem.NodeArm {
+				t.Errorf("finished on %v", res.FinalNode)
+			}
+			if res.Instructions[0] == 0 || res.Instructions[1] == 0 {
+				t.Errorf("both ISAs should have executed: %v", res.Instructions)
+			}
+		})
+	}
+}
+
+func TestMigratedAndHomeRunsAgree(t *testing.T) {
+	dataBase := kernel.UserBase
+	prog, _ := sumProgram(dataBase, 24)
+	home := runProgram(t, machine.StramashOS, prog, StayHome(), seedData(dataBase, 24))
+	away := runProgram(t, machine.StramashOS, prog, MigrateEvery(), seedData(dataBase, 24))
+	if home.VRegs[0] != away.VRegs[0] {
+		t.Errorf("migration changed the result: %d vs %d", home.VRegs[0], away.VRegs[0])
+	}
+}
+
+func TestMatSumProgramAcrossISAs(t *testing.T) {
+	dataBase := kernel.UserBase
+	n := int64(4)
+	prog := minicc.SampleMatSum(uint64(dataBase), n)
+	var want uint64
+	seed := func(task *kernel.Task) error {
+		if _, err := task.Proc.Mmap(uint64(n*n)*8+mem.PageSize, kernel.VMARead|kernel.VMAWrite, "mat"); err != nil {
+			return err
+		}
+		for i := int64(0); i < n*n; i++ {
+			v := uint64(i*5 + 1)
+			want += v
+			if err := task.Store(dataBase+pgtable.VirtAddr(i*8), 8, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res := runProgram(t, machine.StramashOS, prog, MigrateEvery(), seed)
+	if res.VRegs[0] != want {
+		t.Errorf("matsum = %d, want %d", res.VRegs[0], want)
+	}
+	// MatSum migrates after each of the n rows.
+	if res.Migrations < int(n) {
+		t.Errorf("migrations = %d, want >= %d", res.Migrations, n)
+	}
+}
+
+func TestProgramFetchesAreCharged(t *testing.T) {
+	m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataBase := kernel.UserBase
+	prog, _ := sumProgram(dataBase, 8)
+	c, err := minicc.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunSingle("prog", mem.NodeX86, func(task *kernel.Task) error {
+		if err := seedData(dataBase, 8)(task); err != nil {
+			return err
+		}
+		img, err := Load(task, c)
+		if err != nil {
+			return err
+		}
+		_, err = Run(task, img, StayHome(), 1_000_000)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.CacheStats(mem.NodeX86); st.L1IAccesses == 0 {
+		t.Error("interpreted execution produced no instruction fetches")
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An infinite loop: must hit the budget, not hang.
+	prog := minicc.NewBuilder("spin", 1).Label("x").Jmp("x").MustBuild()
+	c, err := minicc.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunSingle("spin", mem.NodeX86, func(task *kernel.Task) error {
+		img, err := Load(task, c)
+		if err != nil {
+			return err
+		}
+		_, err = Run(task, img, StayHome(), 1000)
+		if err == nil {
+			t.Error("non-halting program did not error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

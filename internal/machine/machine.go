@@ -1,0 +1,343 @@
+// Package machine assembles the full simulated system: the hardware
+// platform (nodes, caches, coherent memory, IPIs), two booted kernel
+// instances, the messaging layer placed per the hardware model (§8.2), and
+// the selected operating-system personality. It is the level at which the
+// paper's experiments are expressed: pick a memory model and an OS, run
+// tasks, read the counters.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/interconnect"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/popcorn"
+	"repro/internal/sim"
+	"repro/internal/stramash"
+)
+
+// OSKind selects the operating-system personality (the bars of Figure 9).
+type OSKind int
+
+const (
+	// VanillaOS runs the application on one kernel with no migration.
+	VanillaOS OSKind = iota
+	// PopcornTCP is the multiple-kernel baseline over the network path.
+	PopcornTCP
+	// PopcornSHM is the multiple-kernel baseline over shared-memory rings.
+	PopcornSHM
+	// StramashOS is the fused-kernel OS.
+	StramashOS
+)
+
+func (k OSKind) String() string {
+	switch k {
+	case VanillaOS:
+		return "Vanilla"
+	case PopcornTCP:
+		return "Popcorn-TCP"
+	case PopcornSHM:
+		return "Popcorn-SHM"
+	case StramashOS:
+		return "Stramash"
+	}
+	return fmt.Sprintf("OSKind(%d)", int(k))
+}
+
+// FullOS is a personality that can also create processes.
+type FullOS interface {
+	kernel.OS
+	CreateProcess(pt *hw.Port, origin mem.NodeID) (*kernel.Process, error)
+}
+
+// Config describes one experimental machine.
+type Config struct {
+	Model mem.Model
+	OS    OSKind
+	// L3Size overrides the per-node L3 size (default 4 MiB; Figure 10
+	// uses 32 MiB). Zero keeps the default.
+	L3Size int
+	// L2Size overrides the per-core L2 size (default 1 MiB). The scaled
+	// cache-sensitivity experiments shrink the hierarchy so the scaled
+	// working sets exercise the same capacity effects as the originals.
+	L2Size int
+	// Cores per node (default 1, like the single-thread NPB runs).
+	Cores int
+	// IPIMicros / NetRTTMicros override latency constants (defaults 2/75).
+	IPIMicros    float64
+	NetRTTMicros float64
+	// CPI overrides the per-node non-memory cycles-per-instruction
+	// (zero = the simulator's fixed 1.0). Bare-metal reference machines
+	// (internal/hwref) set measured values here.
+	CPI [2]float64
+	// Latencies overrides the per-node cache/memory latencies (nil keeps
+	// the Xeon Gold / ThunderX2 defaults of Table 2).
+	Latencies *[2]cache.Latencies
+	// ClockHz overrides the per-node core clocks.
+	ClockHz [2]int64
+	// L3PerNode overrides each node's L3 size independently (a zero entry
+	// disables that node's L3, like the A72 SmartNIC). Takes precedence
+	// over L3Size.
+	L3PerNode *[2]int
+}
+
+// reservedLow is the per-node reservation for kernel image, memmap, and
+// (on the x86 node) the messaging area.
+const reservedLow = 192 << 20
+
+// msgAreaSize is the messaging layer's footprint (§8.2 uses 128 MB).
+const msgAreaSize = 128 << 20
+
+// Machine is one assembled system.
+type Machine struct {
+	Cfg  Config
+	Plat *hw.Platform
+	Ctx  *kernel.Context
+	Msgr *interconnect.Messenger
+	OS   FullOS
+
+	procs map[string]*kernel.Process
+}
+
+// New builds and boots a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	hwCfg := hw.DefaultConfig(cfg.Model)
+	hwCfg.Cache.Nodes[0].Cores = cfg.Cores
+	hwCfg.Cache.Nodes[1].Cores = cfg.Cores
+	if cfg.L3Size != 0 {
+		hwCfg.Cache.Nodes[0].L3.Size = cfg.L3Size
+		hwCfg.Cache.Nodes[1].L3.Size = cfg.L3Size
+	}
+	if cfg.L3PerNode != nil {
+		hwCfg.Cache.Nodes[0].L3.Size = cfg.L3PerNode[0]
+		hwCfg.Cache.Nodes[1].L3.Size = cfg.L3PerNode[1]
+	}
+	if cfg.L2Size != 0 {
+		hwCfg.Cache.Nodes[0].L2.Size = cfg.L2Size
+		hwCfg.Cache.Nodes[1].L2.Size = cfg.L2Size
+	}
+	if cfg.IPIMicros != 0 {
+		hwCfg.IPIMicros = cfg.IPIMicros
+	}
+	hwCfg.CPI = cfg.CPI
+	if cfg.Latencies != nil {
+		hwCfg.Cache.Nodes[0].Lat = cfg.Latencies[0]
+		hwCfg.Cache.Nodes[1].Lat = cfg.Latencies[1]
+	}
+	if cfg.ClockHz[0] != 0 {
+		hwCfg.ClockHz = cfg.ClockHz
+	}
+	plat := hw.NewPlatform(hwCfg)
+
+	m := &Machine{Cfg: cfg, Plat: plat, procs: make(map[string]*kernel.Process)}
+
+	// Boot the two kernel instances from the firmware memory map (§6.1).
+	ctx := &kernel.Context{Plat: plat}
+	x86k, err := kernel.Boot(plat, mem.NodeX86, pgtable.X86Format{}, kernel.BootConfig{ReserveLow: reservedLow})
+	if err != nil {
+		return nil, err
+	}
+	armk, err := kernel.Boot(plat, mem.NodeArm, pgtable.Arm64Format{}, kernel.BootConfig{ReserveLow: reservedLow})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Kernels = [2]*kernel.Kernel{x86k, armk}
+	m.Ctx = ctx
+
+	// Initialize the messaging layer and the personality inside a boot
+	// thread (ring setup needs a clocked port).
+	var bootErr error
+	plat.Engine.Spawn("boot", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		mode := interconnect.SHM
+		if cfg.OS == PopcornTCP {
+			mode = interconnect.TCP
+		}
+		mcfg := interconnect.DefaultConfig(mode, m.msgAreaBase())
+		if cfg.NetRTTMicros != 0 {
+			mcfg.NetRTTMicros = cfg.NetRTTMicros
+		}
+		m.Msgr = interconnect.NewMessenger(mcfg, plat, pt)
+
+		switch cfg.OS {
+		case VanillaOS:
+			m.OS = kernel.NewVanilla(ctx)
+		case PopcornTCP, PopcornSHM:
+			m.OS = popcorn.New(ctx, m.Msgr)
+		case StramashOS:
+			m.OS = stramash.New(ctx, m.Msgr)
+		default:
+			bootErr = fmt.Errorf("machine: unknown OS kind %v", cfg.OS)
+		}
+	})
+	if err := plat.Engine.Run(); err != nil {
+		return nil, err
+	}
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	m.ResetStats()
+	return m, nil
+}
+
+// msgAreaBase places the messaging area per §8.2: Separated keeps it in
+// the x86 instance's local memory (remote for Arm); Shared puts it in the
+// CXL pool (remote for both); FullyShared is all-local so any placement is
+// local for both.
+func (m *Machine) msgAreaBase() mem.PhysAddr {
+	switch m.Cfg.Model {
+	case mem.Shared:
+		return m.Plat.Layout().SharedRegions()[0].Start
+	default:
+		// Inside the x86 node's reserved low memory, after 32 MB of kernel
+		// image/memmap space.
+		return m.Plat.Layout().OwnedRegions(mem.NodeX86)[0].Start + (32 << 20)
+	}
+}
+
+// MsgAreaSize returns the messaging area footprint.
+func (m *Machine) MsgAreaSize() uint64 { return msgAreaSize }
+
+// ResetStats zeroes cache, messenger and task counters (after boot or
+// warmup) without disturbing memory or cache contents.
+func (m *Machine) ResetStats() {
+	m.Plat.Caches.ResetStats()
+	if m.Msgr != nil {
+		m.Msgr.ResetStats()
+	}
+}
+
+// TaskSpec describes one task to run.
+type TaskSpec struct {
+	Name string
+	// Origin is the node the task's process originates on.
+	Origin mem.NodeID
+	// ProcKey shares one process among specs with the same non-empty key.
+	ProcKey string
+	// Start is the task thread's starting time.
+	Start sim.Cycles
+	// Body is the task's work. Errors abort the run.
+	Body func(t *kernel.Task) error
+	// KeepAlive skips the automatic Exit (page teardown) after Body.
+	KeepAlive bool
+}
+
+// Result reports one task's outcome.
+type Result struct {
+	Name  string
+	Start sim.Cycles
+	End   sim.Cycles
+	Task  *kernel.Task
+	Err   error
+}
+
+// Elapsed returns the task's simulated duration in cycles.
+func (r Result) Elapsed() sim.Cycles { return r.End - r.Start }
+
+// RunTasks creates the tasks' processes, runs all task bodies to
+// completion under the simulation engine, and returns per-task results in
+// spec order.
+func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
+	// Phase 1: create processes in a setup thread.
+	var setupErr error
+	procFor := make([]*kernel.Process, len(specs))
+	m.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
+		pt := m.Plat.NewPort(mem.NodeX86, 0, th)
+		for i, s := range specs {
+			if s.ProcKey != "" {
+				if p, ok := m.procs[s.ProcKey]; ok && p.Origin == s.Origin {
+					procFor[i] = p
+					continue
+				}
+			}
+			p, err := m.OS.CreateProcess(pt, s.Origin)
+			if err != nil {
+				setupErr = err
+				return
+			}
+			procFor[i] = p
+			if s.ProcKey != "" {
+				m.procs[s.ProcKey] = p
+			}
+		}
+	})
+	if err := m.Plat.Engine.Run(); err != nil {
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	// Phase 2: run the tasks.
+	results := make([]Result, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		proc := procFor[i]
+		m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
+			t := kernel.NewTask(s.Name, proc, m.OS, m.Ctx, th)
+			results[i].Name = s.Name
+			results[i].Start = s.Start
+			results[i].Task = t
+			err := s.Body(t)
+			if err == nil && !s.KeepAlive {
+				err = t.Exit()
+			}
+			results[i].Err = err
+			results[i].End = th.Now()
+		})
+	}
+	if err := m.Plat.Engine.Run(); err != nil {
+		return results, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("machine: task %q: %w", r.Name, r.Err)
+		}
+	}
+	return results, nil
+}
+
+// RunSingle is the common case: one task, one fresh process.
+func (m *Machine) RunSingle(name string, origin mem.NodeID, body func(*kernel.Task) error) (Result, error) {
+	rs, err := m.RunTasks(TaskSpec{Name: name, Origin: origin, Body: body})
+	if len(rs) == 1 {
+		return rs[0], err
+	}
+	return Result{}, err
+}
+
+// PopcornStats returns the baseline personality's counters (zero value for
+// other personalities).
+func (m *Machine) PopcornStats() popcorn.Stats {
+	if o, ok := m.OS.(*popcorn.OS); ok {
+		return o.Stats
+	}
+	return popcorn.Stats{}
+}
+
+// StramashStats returns the fused personality's counters (zero value for
+// other personalities).
+func (m *Machine) StramashStats() stramash.Stats {
+	if o, ok := m.OS.(*stramash.OS); ok {
+		return o.Stats
+	}
+	return stramash.Stats{}
+}
+
+// CacheStats returns node n's cache counters.
+func (m *Machine) CacheStats(n mem.NodeID) cache.Stats { return m.Plat.Caches.Stats(n) }
+
+// Messages returns the total inter-kernel messages sent so far.
+func (m *Machine) Messages() int64 {
+	if m.Msgr == nil {
+		return 0
+	}
+	return m.Msgr.Stats().TotalMessages()
+}

@@ -1,0 +1,218 @@
+// Package mem models the physical memory of a cache-coherent
+// heterogeneous-ISA platform: byte-addressable backing storage shared by all
+// simulated nodes, a region map describing which physical ranges are local to
+// which node, and the three hardware memory configurations of the paper
+// (Separated, Shared, Fully Shared — Figure 3).
+//
+// Memory contents are real: stores write bytes, loads read them back, and
+// page copies move data. This keeps the DSM protocol, the fused page-fault
+// handler and the migration machinery honest — correctness tests compare
+// actual memory images, not counters.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PhysAddr is a physical byte address in the simulated machine.
+type PhysAddr uint64
+
+// PageSize is the simulated base page size (4 KiB), shared by both ISAs.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// LineSize is the cache line size in bytes, common to both nodes (§7.1: both
+// QEMU instances run on one x86 host, lines are 64 B).
+const LineSize = 64
+
+// NodeID identifies a processor complex (one per ISA).
+type NodeID int
+
+// The two nodes of the reference platform. The design generalizes to more,
+// but like the paper we build and evaluate an x86-64 + AArch64 pair.
+const (
+	NodeX86 NodeID = 0
+	NodeArm NodeID = 1
+	// NodeNone marks physical ranges that are not local to any node
+	// (the CXL shared pool in the Shared model).
+	NodeNone NodeID = -1
+)
+
+// String returns the conventional node name.
+func (n NodeID) String() string {
+	switch n {
+	case NodeX86:
+		return "x86"
+	case NodeArm:
+		return "arm"
+	case NodeNone:
+		return "shared"
+	}
+	return fmt.Sprintf("node%d", int(n))
+}
+
+// Model selects one of the paper's hardware memory configurations (Fig. 3).
+type Model int
+
+const (
+	// Separated: each CPU group has its own memory; coherence between the
+	// groups is maintained across the interconnect (NUMA/CXL-like). Accesses
+	// to the other group's memory are remote.
+	Separated Model = iota
+	// Shared: each group has private local memory plus a cache-coherent
+	// shared pool (CXL 3.0-like). The pool is remote for both groups.
+	Shared
+	// FullyShared: a single memory shared by all processors; every access is
+	// local (OpenPiton-like single-chip integration).
+	FullyShared
+)
+
+func (m Model) String() string {
+	switch m {
+	case Separated:
+		return "Separated"
+	case Shared:
+		return "Shared"
+	case FullyShared:
+		return "FullyShared"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Region is a contiguous physical range with an owner node. Owner NodeNone
+// marks the shared pool.
+type Region struct {
+	Name  string
+	Start PhysAddr
+	Size  uint64
+	Owner NodeID
+}
+
+// End returns the first address past the region.
+func (r Region) End() PhysAddr { return r.Start + PhysAddr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a PhysAddr) bool { return a >= r.Start && a < r.End() }
+
+// Layout is the machine's physical memory map: an ordered set of regions
+// plus the hardware model that determines local/remote classification.
+type Layout struct {
+	Model   Model
+	Regions []Region
+}
+
+// DefaultLayout reproduces the paper's Figure 4 memory map on an 8 GB
+// machine: the x86 instance owns 0x0–1.5 GB and 4–6 GB, the Arm instance
+// owns 1.5–3 GB and 6–8 GB, and (in the Shared model) the range 4–8 GB is
+// instead a shared pool remote to both. The exact split follows §8.1.
+func DefaultLayout(model Model) Layout {
+	const (
+		gb = uint64(1) << 30
+		mb = uint64(1) << 20
+	)
+	switch model {
+	case Separated:
+		return Layout{Model: model, Regions: []Region{
+			{Name: "x86-low", Start: 0x0, Size: 1536 * mb, Owner: NodeX86},
+			{Name: "arm-low", Start: PhysAddr(1536 * mb), Size: 1536 * mb, Owner: NodeArm},
+			{Name: "x86-high", Start: PhysAddr(4 * gb), Size: 2 * gb, Owner: NodeX86},
+			{Name: "arm-high", Start: PhysAddr(6 * gb), Size: 2 * gb, Owner: NodeArm},
+		}}
+	case Shared:
+		return Layout{Model: model, Regions: []Region{
+			{Name: "x86-low", Start: 0x0, Size: 1536 * mb, Owner: NodeX86},
+			{Name: "arm-low", Start: PhysAddr(1536 * mb), Size: 1536 * mb, Owner: NodeArm},
+			{Name: "cxl-pool", Start: PhysAddr(4 * gb), Size: 4 * gb, Owner: NodeNone},
+		}}
+	case FullyShared:
+		// A single memory; we keep the same address ranges but every region
+		// is local to every node. Ownership is recorded for allocation
+		// bookkeeping only.
+		return Layout{Model: model, Regions: []Region{
+			{Name: "x86-low", Start: 0x0, Size: 1536 * mb, Owner: NodeX86},
+			{Name: "arm-low", Start: PhysAddr(1536 * mb), Size: 1536 * mb, Owner: NodeArm},
+			{Name: "x86-high", Start: PhysAddr(4 * gb), Size: 2 * gb, Owner: NodeX86},
+			{Name: "arm-high", Start: PhysAddr(6 * gb), Size: 2 * gb, Owner: NodeArm},
+		}}
+	}
+	panic(fmt.Sprintf("mem: unknown model %v", model))
+}
+
+// RegionAt returns the region containing a, or nil if a is unmapped.
+func (l *Layout) RegionAt(a PhysAddr) *Region {
+	for i := range l.Regions {
+		if l.Regions[i].Contains(a) {
+			return &l.Regions[i]
+		}
+	}
+	return nil
+}
+
+// Locality classifies a physical access by node from according to the
+// hardware model: Local (the node's own memory), Remote (another node's
+// memory or, in the Shared model, the CXL pool).
+type Locality int
+
+const (
+	Local Locality = iota
+	Remote
+)
+
+func (lo Locality) String() string {
+	if lo == Local {
+		return "local"
+	}
+	return "remote"
+}
+
+// Classify returns the locality of address a when accessed by node from.
+// Unmapped addresses are treated as remote (they still simulate — buggy
+// callers pay worst-case latency — but Physical.Check* can reject them).
+func (l *Layout) Classify(from NodeID, a PhysAddr) Locality {
+	if l.Model == FullyShared {
+		return Local
+	}
+	r := l.RegionAt(a)
+	if r == nil {
+		return Remote
+	}
+	if r.Owner == from {
+		return Local
+	}
+	return Remote
+}
+
+// OwnedRegions returns the regions owned by node n, in address order.
+func (l *Layout) OwnedRegions(n NodeID) []Region {
+	var out []Region
+	for _, r := range l.Regions {
+		if r.Owner == n {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SharedRegions returns the regions owned by no node (the CXL pool).
+func (l *Layout) SharedRegions() []Region {
+	var out []Region
+	for _, r := range l.Regions {
+		if r.Owner == NodeNone {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalSize returns the total mapped physical memory in bytes.
+func (l *Layout) TotalSize() uint64 {
+	var s uint64
+	for _, r := range l.Regions {
+		s += r.Size
+	}
+	return s
+}

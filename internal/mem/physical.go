@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Physical is the byte-backed physical memory of the machine. The simulated
+// address space spans several GB but is sparse: 4 KiB frames are materialized
+// on first touch, so a simulation only pays for the pages it actually uses.
+//
+// Physical is deliberately free of timing: latency and coherence are modelled
+// by the cache layer, which calls into Physical only for data movement.
+type Physical struct {
+	layout Layout
+	frames map[uint64]*[PageSize]byte
+}
+
+// NewPhysical creates physical memory with the given layout.
+func NewPhysical(l Layout) *Physical {
+	return &Physical{layout: l, frames: make(map[uint64]*[PageSize]byte)}
+}
+
+// Layout returns the machine's memory map.
+func (p *Physical) Layout() *Layout { return &p.layout }
+
+// frame returns the backing frame for address a, materializing it if needed.
+func (p *Physical) frame(a PhysAddr) *[PageSize]byte {
+	idx := uint64(a) >> PageShift
+	f := p.frames[idx]
+	if f == nil {
+		f = new([PageSize]byte)
+		p.frames[idx] = f
+	}
+	return f
+}
+
+// CheckMapped returns an error if [a, a+n) is not fully covered by the
+// layout's regions.
+func (p *Physical) CheckMapped(a PhysAddr, n int) error {
+	end := a + PhysAddr(n)
+	for cur := a; cur < end; {
+		r := p.layout.RegionAt(cur)
+		if r == nil {
+			return fmt.Errorf("mem: physical address %#x not mapped by any region", cur)
+		}
+		if r.End() >= end {
+			break
+		}
+		cur = r.End()
+	}
+	return nil
+}
+
+// Read copies n bytes starting at a into a fresh slice.
+func (p *Physical) Read(a PhysAddr, n int) []byte {
+	out := make([]byte, n)
+	p.ReadInto(a, out)
+	return out
+}
+
+// ReadInto fills dst with the bytes starting at a.
+func (p *Physical) ReadInto(a PhysAddr, dst []byte) {
+	for len(dst) > 0 {
+		f := p.frame(a)
+		off := int(a) & (PageSize - 1)
+		n := copy(dst, f[off:])
+		dst = dst[n:]
+		a += PhysAddr(n)
+	}
+}
+
+// Write stores src at address a.
+func (p *Physical) Write(a PhysAddr, src []byte) {
+	for len(src) > 0 {
+		f := p.frame(a)
+		off := int(a) & (PageSize - 1)
+		n := copy(f[off:], src)
+		src = src[n:]
+		a += PhysAddr(n)
+	}
+}
+
+// Read64 loads a little-endian 64-bit value at a (used by page-table
+// walkers, ring buffers and the simulated atomics).
+func (p *Physical) Read64(a PhysAddr) uint64 {
+	if int(a)&(PageSize-1) <= PageSize-8 {
+		f := p.frame(a)
+		off := int(a) & (PageSize - 1)
+		return binary.LittleEndian.Uint64(f[off : off+8])
+	}
+	var b [8]byte
+	p.ReadInto(a, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Write64 stores a little-endian 64-bit value at a.
+func (p *Physical) Write64(a PhysAddr, v uint64) {
+	if int(a)&(PageSize-1) <= PageSize-8 {
+		f := p.frame(a)
+		off := int(a) & (PageSize - 1)
+		binary.LittleEndian.PutUint64(f[off:off+8], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.Write(a, b[:])
+}
+
+// Read32 loads a little-endian 32-bit value at a.
+func (p *Physical) Read32(a PhysAddr) uint32 {
+	var b [4]byte
+	p.ReadInto(a, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Write32 stores a little-endian 32-bit value at a.
+func (p *Physical) Write32(a PhysAddr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.Write(a, b[:])
+}
+
+// CompareAndSwap64 performs an atomic compare-and-swap on the 64-bit word at
+// a, returning the previous value and whether the swap happened. Atomicity
+// with respect to simulated time is the caller's job (the cache layer
+// serializes it through the coherence protocol); this method provides the
+// data-level primitive.
+func (p *Physical) CompareAndSwap64(a PhysAddr, old, new uint64) (prev uint64, swapped bool) {
+	prev = p.Read64(a)
+	if prev == old {
+		p.Write64(a, new)
+		return prev, true
+	}
+	return prev, false
+}
+
+// CopyPage copies the 4 KiB page at src to dst. Both must be page-aligned.
+func (p *Physical) CopyPage(dst, src PhysAddr) {
+	if dst&(PageSize-1) != 0 || src&(PageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: CopyPage with unaligned addresses dst=%#x src=%#x", dst, src))
+	}
+	*p.frame(dst) = *p.frame(src)
+}
+
+// ZeroPage clears the 4 KiB page at a. It must be page-aligned.
+func (p *Physical) ZeroPage(a PhysAddr) {
+	if a&(PageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: ZeroPage with unaligned address %#x", a))
+	}
+	*p.frame(a) = [PageSize]byte{}
+}
+
+// SamePage reports whether the pages at a and b have identical contents.
+func (p *Physical) SamePage(a, b PhysAddr) bool {
+	return *p.frame(a) == *p.frame(b)
+}
+
+// TouchedFrames returns the number of frames materialized so far (useful in
+// tests asserting that page replication really copies pages).
+func (p *Physical) TouchedFrames() int { return len(p.frames) }

@@ -1,0 +1,148 @@
+package microbench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func newM(t *testing.T, os machine.OSKind, model mem.Model) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{Model: model, OS: os})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemAccessVanillaCheapest(t *testing.T) {
+	p := MemAccessParams{Bytes: 128 << 10, Stride: 8}
+	van, err := RunMemAccess(newM(t, machine.StramashOS, mem.Shared), p, VanillaDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rao, err := RunMemAccess(newM(t, machine.StramashOS, mem.Shared), p, RemoteAccessOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if van.Cycles >= rao.Cycles {
+		t.Errorf("vanilla (%d) not cheaper than remote-access-origin (%d)", van.Cycles, rao.Cycles)
+	}
+	if van.Accesses != rao.Accesses || van.Accesses == 0 {
+		t.Errorf("access counts differ: %d vs %d", van.Accesses, rao.Accesses)
+	}
+}
+
+func TestMemAccessNoColdHelpsPopcorn(t *testing.T) {
+	// Warm (No Cold) Popcorn reads are all-local — close to vanilla —
+	// because the replica already exists (§9.2.4).
+	p := MemAccessParams{Bytes: 128 << 10, Stride: 8}
+	cold, err := RunMemAccess(newM(t, machine.PopcornSHM, mem.Shared), p, RemoteAccessOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NoCold = true
+	warm, err := RunMemAccess(newM(t, machine.PopcornSHM, mem.Shared), p, RemoteAccessOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cycles*2 > cold.Cycles {
+		t.Errorf("warm popcorn (%d) not ≪ cold popcorn (%d)", warm.Cycles, cold.Cycles)
+	}
+}
+
+func TestMemAccessStramashBeatsPopcornCold(t *testing.T) {
+	// Figure 11: on the Shared model, cold RaO under Stramash (direct
+	// remote access) beats Popcorn-SHM (page replication per page).
+	p := MemAccessParams{Bytes: 128 << 10, Stride: 8}
+	str, err := RunMemAccess(newM(t, machine.StramashOS, mem.Shared), p, RemoteAccessOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := RunMemAccess(newM(t, machine.PopcornSHM, mem.Shared), p, RemoteAccessOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str.Cycles >= pop.Cycles {
+		t.Errorf("stramash cold RaO (%d) not faster than popcorn (%d)", str.Cycles, pop.Cycles)
+	}
+}
+
+func TestGranularityDSMOverheadShrinksWithLines(t *testing.T) {
+	// Figure 12: at 1 line/page DSM pays ~page-replication per 64 bytes;
+	// the ratio to hardware coherence collapses as more of the page is
+	// consumed.
+	ratioAt := func(lines int) float64 {
+		pop, err := RunGranularity(newM(t, machine.PopcornSHM, mem.Shared), GranularityParams{Lines: lines, Pages: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := RunGranularity(newM(t, machine.StramashOS, mem.Shared), GranularityParams{Lines: lines, Pages: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop.PerPage / str.PerPage
+	}
+	r1 := ratioAt(1)
+	r64 := ratioAt(64)
+	if r1 < 20 {
+		t.Errorf("1-line DSM/HW ratio = %.1f, want ≫ 1 (paper: >300x)", r1)
+	}
+	if r64 >= r1/4 {
+		t.Errorf("full-page ratio %.1f did not collapse from 1-line ratio %.1f", r64, r1)
+	}
+	if r64 < 0.8 {
+		t.Errorf("full-page DSM ratio %.2f implausibly below hardware coherence", r64)
+	}
+}
+
+func TestGranularityClampsLines(t *testing.T) {
+	res, err := RunGranularity(newM(t, machine.StramashOS, mem.Shared), GranularityParams{Lines: 1000, Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != mem.PageSize/mem.LineSize {
+		t.Errorf("lines = %d, want clamped to %d", res.Lines, mem.PageSize/mem.LineSize)
+	}
+}
+
+func TestFutexPingPongCorrectness(t *testing.T) {
+	for _, os := range []machine.OSKind{machine.StramashOS, machine.PopcornSHM} {
+		os := os
+		t.Run(os.String(), func(t *testing.T) {
+			res, err := RunFutexPingPong(newM(t, os, mem.Shared), 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counter != 50 {
+				t.Errorf("counter = %d, want 50", res.Counter)
+			}
+			if res.Cycles <= 0 {
+				t.Error("no time elapsed")
+			}
+		})
+	}
+}
+
+func TestFutexStramashFasterThanPopcorn(t *testing.T) {
+	// Figure 13: the fused futex (direct list access + one IPI) beats the
+	// origin-managed protocol (RPC per remote operation).
+	str, err := RunFutexPingPong(newM(t, machine.StramashOS, mem.Shared), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := RunFutexPingPong(newM(t, machine.PopcornSHM, mem.Shared), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str.Cycles >= pop.Cycles {
+		t.Errorf("stramash futex (%d) not faster than popcorn (%d)", str.Cycles, pop.Cycles)
+	}
+}
+
+func TestMemAccessDirectionStrings(t *testing.T) {
+	if VanillaDir.String() != "Vanilla" || RemoteAccessOrigin.String() != "RaO" || OriginAccessRemote.String() != "OaR" {
+		t.Error("direction names wrong")
+	}
+}

@@ -1,0 +1,54 @@
+package microbench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestWakeLatencyCompletesAllRounds(t *testing.T) {
+	m := newM(t, machine.StramashOS, mem.Shared)
+	res, err := RunWakeLatency(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	if res.MeanCycles <= 0 {
+		t.Errorf("mean wake latency = %f", res.MeanCycles)
+	}
+}
+
+func TestWakeLatencyTracksIPI(t *testing.T) {
+	lat := func(us float64) float64 {
+		m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS, IPIMicros: us})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunWakeLatency(m, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanCycles
+	}
+	fast, slow := lat(1), lat(10)
+	if slow <= fast {
+		t.Errorf("wake latency at 10µs IPI (%f) not above 1µs (%f)", slow, fast)
+	}
+}
+
+func TestWakeLatencyWorksUnderPopcorn(t *testing.T) {
+	// The origin-managed protocol also completes the handshakes (the
+	// waiter is at the origin, so its waits are local; the waker's wakes
+	// RPC through the origin).
+	m := newM(t, machine.PopcornSHM, mem.Shared)
+	res, err := RunWakeLatency(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 8 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}

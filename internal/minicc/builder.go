@@ -1,0 +1,139 @@
+package minicc
+
+import "fmt"
+
+// Builder assembles IR programs with symbolic labels, so tests and sample
+// workloads don't hand-count instruction indices.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	labels  map[string]int
+	fixups  map[int]string // instr index -> label (target goes in Imm)
+	numVReg int
+}
+
+// NewBuilder starts a program with n virtual registers.
+func NewBuilder(name string, n int) *Builder {
+	return &Builder{name: name, labels: make(map[string]int), fixups: make(map[int]string), numVReg: n}
+}
+
+func (b *Builder) emit(in Instr) *Builder { b.instrs = append(b.instrs, in); return b }
+
+// Label binds name to the next instruction.
+func (b *Builder) Label(name string) *Builder { b.labels[name] = len(b.instrs); return b }
+
+func (b *Builder) emitBranch(in Instr, target string) *Builder {
+	b.fixups[len(b.instrs)] = target
+	return b.emit(in)
+}
+
+// Const, Mov, Add, ... append the corresponding IR instructions.
+func (b *Builder) Const(d int, v int64) *Builder { return b.emit(Instr{Op: Const, D: d, Imm: v}) }
+func (b *Builder) Mov(d, a int) *Builder         { return b.emit(Instr{Op: Mov, D: d, A: a}) }
+func (b *Builder) Add(d, a, r int) *Builder      { return b.emit(Instr{Op: Add, D: d, A: a, B: r}) }
+func (b *Builder) Sub(d, a, r int) *Builder      { return b.emit(Instr{Op: Sub, D: d, A: a, B: r}) }
+func (b *Builder) Mul(d, a, r int) *Builder      { return b.emit(Instr{Op: Mul, D: d, A: a, B: r}) }
+func (b *Builder) Load(d, addr int, off int64) *Builder {
+	return b.emit(Instr{Op: Load, D: d, A: addr, Imm: off})
+}
+func (b *Builder) Store(addr, val int, off int64) *Builder {
+	return b.emit(Instr{Op: Store, A: addr, B: val, Imm: off})
+}
+func (b *Builder) Jmp(target string) *Builder { return b.emitBranch(Instr{Op: Jmp}, target) }
+func (b *Builder) Jz(a int, target string) *Builder {
+	return b.emitBranch(Instr{Op: Jz, A: a}, target)
+}
+func (b *Builder) Jlt(a, r int, target string) *Builder {
+	return b.emitBranch(Instr{Op: Jlt, A: a, B: r}, target)
+}
+func (b *Builder) Migrate(id int64) *Builder { return b.emit(Instr{Op: Migrate, Imm: id}) }
+func (b *Builder) Halt() *Builder            { return b.emit(Instr{Op: Halt}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	for idx, lbl := range b.fixups {
+		t, ok := b.labels[lbl]
+		if !ok {
+			return nil, fmt.Errorf("minicc: %s: undefined label %q", b.name, lbl)
+		}
+		b.instrs[idx].Imm = int64(t)
+	}
+	p := &Program{Name: b.name, Instrs: b.instrs, NumVRegs: b.numVReg}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for static programs that cannot fail.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SampleSumLoop returns a program that sums mem[base..base+8*(n-1)] into
+// vreg 0, with a migration point (id 1) at the loop midpoint.
+//
+// vregs: 0=sum, 1=i, 2=n, 3=base, 4=tmp, 5=mid
+func SampleSumLoop(base uint64, n int64) *Program {
+	return NewBuilder("sumloop", 6).
+		Const(0, 0).
+		Const(1, 0).
+		Const(2, n).
+		Const(3, int64(base)).
+		Const(5, n/2).
+		Label("loop").
+		Jlt(1, 2, "body").
+		Halt().
+		Label("body").
+		Load(4, 3, 0).
+		Add(0, 0, 4).
+		Const(4, 8).
+		Add(3, 3, 4).
+		Const(4, 1).
+		Add(1, 1, 4).
+		// Migrate exactly once, when i == mid.
+		Sub(4, 1, 5).
+		Jz(4, "mig").
+		Jmp("loop").
+		Label("mig").
+		Migrate(1).
+		Jmp("loop").
+		MustBuild()
+}
+
+// SampleMatSum returns a program computing a checksum over an n x n matrix
+// of 64-bit words at base (row-major), migrating (id 1) after each row.
+//
+// vregs: 0=acc, 1=i, 2=j, 3=n, 4=rowptr, 5=tmp, 6=eight
+func SampleMatSum(base uint64, n int64) *Program {
+	return NewBuilder("matsum", 8).
+		Const(0, 0).
+		Const(1, 0).
+		Const(3, n).
+		Const(4, int64(base)).
+		Const(6, 8).
+		Label("rows").
+		Jlt(1, 3, "rowbody").
+		Halt().
+		Label("rowbody").
+		Const(2, 0).
+		Label("cols").
+		Jlt(2, 3, "colbody").
+		// end of row: migrate, then next row.
+		Migrate(1).
+		Const(5, 1).
+		Add(1, 1, 5).
+		Jmp("rows").
+		Label("colbody").
+		Load(5, 4, 0).
+		Add(0, 0, 5).
+		Add(4, 4, 6).
+		Const(5, 1).
+		Add(2, 2, 5).
+		Jmp("cols").
+		MustBuild()
+}

@@ -1,0 +1,250 @@
+package minicc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/xlate"
+)
+
+// Register assignment. The two targets use different bases and different
+// scratch registers, so the per-ISA register images of the same program
+// state are genuinely different — exactly what the state transformation
+// layer must bridge.
+const (
+	// x86: r0 (RAX) is the CMPXCHG comparand, r1 is the compiler scratch,
+	// r15 is the stack pointer; vregs live in r2..r14 (13 available).
+	x86VRegBase = 2
+	x86Scratch  = 1
+	x86MaxVRegs = 13
+	// arm: x0..x3 are scratch/ABI registers; vregs live in x4..x28.
+	armVRegBase = 4
+	armScratch  = 1
+	armMaxVRegs = 25
+)
+
+// Point records the equivalent PCs of one migration point in both binaries.
+// The PC is the address of the instruction after the MIGRATE trap, i.e.
+// where execution resumes on either architecture.
+type Point struct {
+	ID     int
+	X86PC  uint64
+	ArmPC  uint64
+	IRNext int // IR index after the migrate instruction
+}
+
+// Compiled is the output of compiling one IR program for both ISAs.
+type Compiled struct {
+	IR      *Program
+	X86Code []byte
+	ArmCode []byte
+	Points  map[int]Point
+}
+
+// X86RegMap returns the vreg→register assignment for the SX86 binary.
+func (c *Compiled) X86RegMap() xlate.RegMap {
+	return func(v int) int { return x86VRegBase + v }
+}
+
+// ArmRegMap returns the vreg→register assignment for the SARM binary.
+func (c *Compiled) ArmRegMap() xlate.RegMap {
+	return func(v int) int { return armVRegBase + v }
+}
+
+// Code returns the binary for an architecture.
+func (c *Compiled) Code(a isa.Arch) []byte {
+	if a == isa.X86 {
+		return c.X86Code
+	}
+	return c.ArmCode
+}
+
+// PointPC returns the resume PC of a migration point on an architecture.
+func (c *Compiled) PointPC(a isa.Arch, id int) (uint64, bool) {
+	p, ok := c.Points[id]
+	if !ok {
+		return 0, false
+	}
+	if a == isa.X86 {
+		return p.X86PC, true
+	}
+	return p.ArmPC, true
+}
+
+// Compile lowers the IR to both ISAs and collects migration metadata.
+func Compile(p *Program) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.NumVRegs > x86MaxVRegs {
+		return nil, fmt.Errorf("minicc: %s needs %d vregs, x86 target has %d", p.Name, p.NumVRegs, x86MaxVRegs)
+	}
+	if p.NumVRegs > armMaxVRegs {
+		return nil, fmt.Errorf("minicc: %s needs %d vregs, arm target has %d", p.Name, p.NumVRegs, armMaxVRegs)
+	}
+	c := &Compiled{IR: p, Points: make(map[int]Point)}
+	if err := compileX86(p, c); err != nil {
+		return nil, err
+	}
+	if err := compileArm(p, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// label names the branch target for IR index i.
+func label(i int64) string { return fmt.Sprintf("ir%d", i) }
+
+func compileX86(p *Program, c *Compiled) error {
+	a := isa.NewX86Asm()
+	reg := func(v int) int { return x86VRegBase + v }
+	for i, in := range p.Instrs {
+		a.Label(label(int64(i)))
+		switch in.Op {
+		case Const:
+			a.MovImm(reg(in.D), uint64(in.Imm))
+		case Mov:
+			if in.D != in.A {
+				a.Mov(reg(in.D), reg(in.A))
+			}
+		case Add, Mul:
+			emit2op := a.Add
+			if in.Op == Mul {
+				emit2op = a.Mul
+			}
+			switch {
+			case in.D == in.A:
+				emit2op(reg(in.D), reg(in.B))
+			case in.D == in.B: // commutative
+				emit2op(reg(in.D), reg(in.A))
+			default:
+				a.Mov(reg(in.D), reg(in.A))
+				emit2op(reg(in.D), reg(in.B))
+			}
+		case Sub:
+			if in.D == in.A {
+				a.Sub(reg(in.D), reg(in.B))
+			} else {
+				// d may alias b: compute in scratch.
+				a.Mov(x86Scratch, reg(in.A))
+				a.Sub(x86Scratch, reg(in.B))
+				a.Mov(reg(in.D), x86Scratch)
+			}
+		case Load:
+			if in.Imm < -1<<31 || in.Imm >= 1<<31 {
+				return fmt.Errorf("minicc: load displacement %d exceeds disp32", in.Imm)
+			}
+			a.Load(reg(in.D), reg(in.A), int32(in.Imm))
+		case Store:
+			if in.Imm < -1<<31 || in.Imm >= 1<<31 {
+				return fmt.Errorf("minicc: store displacement %d exceeds disp32", in.Imm)
+			}
+			a.Store(reg(in.B), reg(in.A), int32(in.Imm))
+		case Jmp:
+			a.Jmp(label(in.Imm))
+		case Jz:
+			a.MovImm(x86Scratch, 0)
+			a.Cmp(reg(in.A), x86Scratch)
+			a.Jz(label(in.Imm))
+		case Jlt:
+			a.Cmp(reg(in.A), reg(in.B))
+			a.Jl(label(in.Imm))
+		case Migrate:
+			a.Migrate(int32(in.Imm))
+			pt := c.Points[int(in.Imm)]
+			pt.ID = int(in.Imm)
+			pt.X86PC = uint64(a.Pos())
+			pt.IRNext = i + 1
+			c.Points[int(in.Imm)] = pt
+		case Halt:
+			a.Hlt()
+		}
+	}
+	code, err := a.Assemble()
+	if err != nil {
+		return err
+	}
+	c.X86Code = code
+	return nil
+}
+
+func compileArm(p *Program, c *Compiled) error {
+	a := isa.NewArmAsm()
+	reg := func(v int) int { return armVRegBase + v }
+	for i, in := range p.Instrs {
+		a.Label(label(int64(i)))
+		switch in.Op {
+		case Const:
+			a.MovImm64(reg(in.D), uint64(in.Imm))
+		case Mov:
+			if in.D != in.A {
+				a.Mov(reg(in.D), reg(in.A))
+			}
+		case Add:
+			a.Add(reg(in.D), reg(in.A), reg(in.B))
+		case Sub:
+			a.Sub(reg(in.D), reg(in.A), reg(in.B))
+		case Mul:
+			a.Mul(reg(in.D), reg(in.A), reg(in.B))
+		case Load:
+			if in.Imm >= 0 && in.Imm%8 == 0 && in.Imm/8 < 256 {
+				a.Ldr(reg(in.D), reg(in.A), byte(in.Imm/8))
+			} else {
+				a.MovImm64(armScratch, uint64(in.Imm))
+				a.Add(armScratch, armScratch, reg(in.A))
+				a.Ldr(reg(in.D), armScratch, 0)
+			}
+		case Store:
+			if in.Imm >= 0 && in.Imm%8 == 0 && in.Imm/8 < 256 {
+				a.Str(reg(in.B), reg(in.A), byte(in.Imm/8))
+			} else {
+				a.MovImm64(armScratch, uint64(in.Imm))
+				a.Add(armScratch, armScratch, reg(in.A))
+				a.Str(reg(in.B), armScratch, 0)
+			}
+		case Jmp:
+			a.B(label(in.Imm))
+		case Jz:
+			a.MovImm64(armScratch, 0)
+			a.Cmp(reg(in.A), armScratch)
+			a.Beq(label(in.Imm))
+		case Jlt:
+			a.Cmp(reg(in.A), reg(in.B))
+			a.Blt(label(in.Imm))
+		case Migrate:
+			if in.Imm < 0 || in.Imm > 255 {
+				return fmt.Errorf("minicc: arm migration id %d exceeds 8 bits", in.Imm)
+			}
+			a.Migrate(byte(in.Imm))
+			pt := c.Points[int(in.Imm)]
+			pt.ID = int(in.Imm)
+			pt.ArmPC = uint64(a.Pos())
+			pt.IRNext = i + 1
+			c.Points[int(in.Imm)] = pt
+		case Halt:
+			a.Hlt()
+		}
+	}
+	code, err := a.Assemble()
+	if err != nil {
+		return err
+	}
+	c.ArmCode = code
+	return nil
+}
+
+// NewCPU creates a fresh hardware context for arch at the program entry.
+func (c *Compiled) NewCPU(a isa.Arch, sp uint64) isa.CPU {
+	if a == isa.X86 {
+		return isa.NewX86CPU(0, sp)
+	}
+	return isa.NewArmCPU(0, sp)
+}
+
+// RegMapFor returns the register map for an architecture.
+func (c *Compiled) RegMapFor(a isa.Arch) xlate.RegMap {
+	if a == isa.X86 {
+		return c.X86RegMap()
+	}
+	return c.ArmRegMap()
+}

@@ -1,0 +1,188 @@
+// Package minicc is the reproduction's stand-in for the Popcorn compiler
+// toolchain [49]: it compiles one intermediate representation to both
+// simulated ISAs and emits the migration-point metadata (equivalent PCs and
+// register assignments) that execution migration needs.
+//
+// The IR is a small three-address register machine — enough to express the
+// loopy, memory-walking computations the migration machinery must carry
+// across ISAs, while keeping the correctness property crisp: for any IR
+// program, the SX86 binary, the SARM binary, and the reference evaluator
+// must compute identical results, with or without migration at any point.
+package minicc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Op is an IR operation.
+type Op int
+
+// IR operations. D, A, B are virtual register indices; Imm is an immediate
+// whose meaning depends on the op.
+const (
+	// Const: r[D] = Imm.
+	Const Op = iota
+	// Mov: r[D] = r[A].
+	Mov
+	// Add: r[D] = r[A] + r[B].
+	Add
+	// Sub: r[D] = r[A] - r[B].
+	Sub
+	// Mul: r[D] = r[A] * r[B].
+	Mul
+	// Load: r[D] = mem64[r[A] + Imm].
+	Load
+	// Store: mem64[r[A] + Imm] = r[B].
+	Store
+	// Jmp: goto instruction Imm.
+	Jmp
+	// Jz: if r[A] == 0 goto Imm.
+	Jz
+	// Jlt: if signed r[A] < r[B] goto Imm.
+	Jlt
+	// Migrate: migration point with id Imm.
+	Migrate
+	// Halt stops the program.
+	Halt
+)
+
+func (o Op) String() string {
+	names := []string{"const", "mov", "add", "sub", "mul", "load", "store",
+		"jmp", "jz", "jlt", "migrate", "halt"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op      Op
+	D, A, B int
+	Imm     int64
+}
+
+// Program is an IR unit plus its register requirement.
+type Program struct {
+	Name     string
+	Instrs   []Instr
+	NumVRegs int
+}
+
+// Validate checks register indices and branch targets.
+func (p *Program) Validate() error {
+	for i, in := range p.Instrs {
+		chk := func(r int) error {
+			if r < 0 || r >= p.NumVRegs {
+				return fmt.Errorf("minicc: %s: instr %d (%v) uses vreg %d of %d", p.Name, i, in.Op, r, p.NumVRegs)
+			}
+			return nil
+		}
+		switch in.Op {
+		case Const:
+			if err := chk(in.D); err != nil {
+				return err
+			}
+		case Mov:
+			if err := chk(in.D); err != nil {
+				return err
+			}
+			if err := chk(in.A); err != nil {
+				return err
+			}
+		case Add, Sub, Mul:
+			for _, r := range []int{in.D, in.A, in.B} {
+				if err := chk(r); err != nil {
+					return err
+				}
+			}
+		case Load:
+			if err := chk(in.D); err != nil {
+				return err
+			}
+			if err := chk(in.A); err != nil {
+				return err
+			}
+		case Store:
+			if err := chk(in.A); err != nil {
+				return err
+			}
+			if err := chk(in.B); err != nil {
+				return err
+			}
+		case Jmp:
+			if in.Imm < 0 || in.Imm >= int64(len(p.Instrs)) {
+				return fmt.Errorf("minicc: %s: jmp target %d out of range", p.Name, in.Imm)
+			}
+		case Jz:
+			if err := chk(in.A); err != nil {
+				return err
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(p.Instrs)) {
+				return fmt.Errorf("minicc: %s: jz target %d out of range", p.Name, in.Imm)
+			}
+		case Jlt:
+			if err := chk(in.A); err != nil {
+				return err
+			}
+			if err := chk(in.B); err != nil {
+				return err
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(p.Instrs)) {
+				return fmt.Errorf("minicc: %s: jlt target %d out of range", p.Name, in.Imm)
+			}
+		case Migrate, Halt:
+		default:
+			return fmt.Errorf("minicc: %s: unknown op %v", p.Name, in.Op)
+		}
+	}
+	return nil
+}
+
+// Eval is the reference evaluator: it executes the IR directly against a
+// bus, returning the final virtual register file. Migration points invoke
+// bus.Migrate like the machine interpreters do.
+func (p *Program) Eval(bus isa.Bus, maxSteps int64) ([]uint64, error) {
+	regs := make([]uint64, p.NumVRegs)
+	pc := 0
+	for steps := int64(0); steps < maxSteps; steps++ {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return nil, fmt.Errorf("minicc: %s: pc %d out of range", p.Name, pc)
+		}
+		in := p.Instrs[pc]
+		pc++
+		switch in.Op {
+		case Const:
+			regs[in.D] = uint64(in.Imm)
+		case Mov:
+			regs[in.D] = regs[in.A]
+		case Add:
+			regs[in.D] = regs[in.A] + regs[in.B]
+		case Sub:
+			regs[in.D] = regs[in.A] - regs[in.B]
+		case Mul:
+			regs[in.D] = regs[in.A] * regs[in.B]
+		case Load:
+			regs[in.D] = bus.Load(uint64(int64(regs[in.A])+in.Imm), 8)
+		case Store:
+			bus.Store(uint64(int64(regs[in.A])+in.Imm), 8, regs[in.B])
+		case Jmp:
+			pc = int(in.Imm)
+		case Jz:
+			if regs[in.A] == 0 {
+				pc = int(in.Imm)
+			}
+		case Jlt:
+			if int64(regs[in.A]) < int64(regs[in.B]) {
+				pc = int(in.Imm)
+			}
+		case Migrate:
+			bus.Migrate(int(in.Imm))
+		case Halt:
+			return regs, nil
+		}
+	}
+	return nil, fmt.Errorf("minicc: %s: did not halt", p.Name)
+}

@@ -1,0 +1,373 @@
+package minicc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/xlate"
+)
+
+// runBoth compiles p, runs the reference evaluator and both machine
+// binaries on identical memory images, and returns the three vreg files.
+func runBoth(t *testing.T, p *Program, seedMem map[uint64]uint64) (ref, x86, arm []uint64) {
+	t.Helper()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkBus := func() *isa.MapBus {
+		b := isa.NewMapBus()
+		for a, v := range seedMem {
+			b.Store(a, 8, v)
+		}
+		return b
+	}
+
+	refBus := mkBus()
+	ref, err = p.Eval(refBus, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xcpu := isa.NewX86CPU(0, 0xF0000)
+	if err := isa.Run(xcpu, mkBus(), c.X86Code, 0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	x86 = make([]uint64, p.NumVRegs)
+	for v := range x86 {
+		x86[v] = xcpu.Reg(c.X86RegMap()(v))
+	}
+
+	acpu := isa.NewArmCPU(0, 0xF0000)
+	if err := isa.Run(acpu, mkBus(), c.ArmCode, 0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	arm = make([]uint64, p.NumVRegs)
+	for v := range arm {
+		arm[v] = acpu.Reg(c.ArmRegMap()(v))
+	}
+	return ref, x86, arm
+}
+
+func TestCompileSumLoopEquivalence(t *testing.T) {
+	memImg := map[uint64]uint64{}
+	base := uint64(0x4000)
+	var want uint64
+	for i := uint64(0); i < 10; i++ {
+		memImg[base+i*8] = i * i
+		want += i * i
+	}
+	p := SampleSumLoop(base, 10)
+	ref, x86, arm := runBoth(t, p, memImg)
+	if ref[0] != want || x86[0] != want || arm[0] != want {
+		t.Errorf("sums: ref=%d x86=%d arm=%d want=%d", ref[0], x86[0], arm[0], want)
+	}
+}
+
+func TestCompileMatSumEquivalence(t *testing.T) {
+	memImg := map[uint64]uint64{}
+	base := uint64(0x8000)
+	n := int64(5)
+	var want uint64
+	for i := int64(0); i < n*n; i++ {
+		memImg[base+uint64(i)*8] = uint64(i * 3)
+		want += uint64(i * 3)
+	}
+	p := SampleMatSum(base, n)
+	ref, x86, arm := runBoth(t, p, memImg)
+	if ref[0] != want || x86[0] != want || arm[0] != want {
+		t.Errorf("acc: ref=%d x86=%d arm=%d want=%d", ref[0], x86[0], arm[0], want)
+	}
+}
+
+func TestRandomProgramEquivalence(t *testing.T) {
+	// Property: random straight-line arithmetic programs compute the same
+	// register file on the reference evaluator and both ISAs.
+	rng := sim.NewRNG(2024)
+	genProgram := func() *Program {
+		n := 6
+		b := NewBuilder("rand", n)
+		for v := 0; v < n; v++ {
+			b.Const(v, int64(rng.Uint64()%1000))
+		}
+		for i := 0; i < 30; i++ {
+			d, a2, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				b.Add(d, a2, c)
+			case 1:
+				b.Sub(d, a2, c)
+			case 2:
+				b.Mul(d, a2, c)
+			case 3:
+				b.Mov(d, a2)
+			}
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := genProgram()
+		ref, x86, arm := runBoth(t, p, nil)
+		for v := range ref {
+			if ref[v] != x86[v] || ref[v] != arm[v] {
+				t.Fatalf("trial %d vreg %d: ref=%d x86=%d arm=%d", trial, v, ref[v], x86[v], arm[v])
+			}
+		}
+	}
+}
+
+func TestMigrationPointsRecordedOnBothISAs(t *testing.T) {
+	p := SampleSumLoop(0x1000, 8)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := c.Points[1]
+	if !ok {
+		t.Fatal("migration point 1 missing")
+	}
+	if pt.X86PC == 0 || pt.ArmPC == 0 {
+		t.Errorf("point PCs not recorded: %+v", pt)
+	}
+	if x, ok := c.PointPC(isa.X86, 1); !ok || x != pt.X86PC {
+		t.Error("PointPC(x86) mismatch")
+	}
+	if a, ok := c.PointPC(isa.Arm64, 1); !ok || a != pt.ArmPC {
+		t.Error("PointPC(arm) mismatch")
+	}
+	if _, ok := c.PointPC(isa.X86, 99); ok {
+		t.Error("nonexistent point found")
+	}
+}
+
+// migrateRun executes the program starting on src, transforms state to dst
+// at the first migration point, and finishes there.
+func migrateRun(t *testing.T, c *Compiled, src, dst isa.Arch, bus isa.Bus) []uint64 {
+	t.Helper()
+	srcCPU := c.NewCPU(src, 0xF0000)
+	dstCPU := c.NewCPU(dst, 0xE0000)
+
+	migrated := false
+	mb := &migBus{Bus: bus}
+	mb.onMigrate = func(id int) {
+		if migrated {
+			return // only first point migrates; later ones continue in place
+		}
+		migrated = true
+		dstPC, ok := c.PointPC(dst, id)
+		if !ok {
+			t.Fatalf("no point %d for %v", id, dst)
+		}
+		if _, err := xlate.Transform(srcCPU, dstCPU, c.IR.NumVRegs,
+			c.RegMapFor(src), c.RegMapFor(dst), dstPC, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Run source until migration fires or it halts.
+	for !srcCPU.Halted() && !migrated {
+		if err := srcCPU.Step(mb, c.Code(src), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := srcCPU
+	if migrated {
+		if err := isa.Run(dstCPU, mb, c.Code(dst), 0, 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		final = dstCPU
+	}
+	out := make([]uint64, c.IR.NumVRegs)
+	rm := c.RegMapFor(final.Arch())
+	for v := range out {
+		out[v] = final.Reg(rm(v))
+	}
+	return out
+}
+
+// migBus wraps a bus, overriding the migration hook.
+type migBus struct {
+	isa.Bus
+	onMigrate func(int)
+}
+
+func (m *migBus) Migrate(id int) { m.onMigrate(id) }
+
+func TestMigrationTransparencyBothDirections(t *testing.T) {
+	base := uint64(0x4000)
+	n := int64(16)
+	p := SampleSumLoop(base, n)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func() *isa.MapBus {
+		b := isa.NewMapBus()
+		var i uint64
+		for i = 0; i < uint64(n); i++ {
+			b.Store(base+i*8, 8, i*7+1)
+		}
+		return b
+	}
+	ref, err := p.Eval(seed(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotXA := migrateRun(t, c, isa.X86, isa.Arm64, seed())
+	gotAX := migrateRun(t, c, isa.Arm64, isa.X86, seed())
+	if gotXA[0] != ref[0] {
+		t.Errorf("x86->arm migrated sum = %d, want %d", gotXA[0], ref[0])
+	}
+	if gotAX[0] != ref[0] {
+		t.Errorf("arm->x86 migrated sum = %d, want %d", gotAX[0], ref[0])
+	}
+}
+
+func TestMigrationTransparencyProperty(t *testing.T) {
+	// Any (n, direction) choice preserves the computed sum.
+	f := func(nRaw uint8, x86First bool) bool {
+		n := int64(nRaw%32) + 2
+		base := uint64(0x4000)
+		p := SampleSumLoop(base, n)
+		c, err := Compile(p)
+		if err != nil {
+			return false
+		}
+		seed := func() *isa.MapBus {
+			b := isa.NewMapBus()
+			for i := uint64(0); i < uint64(n); i++ {
+				b.Store(base+i*8, 8, i*13+5)
+			}
+			return b
+		}
+		ref, err := p.Eval(seed(), 1_000_000)
+		if err != nil {
+			return false
+		}
+		src, dst := isa.X86, isa.Arm64
+		if !x86First {
+			src, dst = dst, src
+		}
+		got := migrateRunNoT(c, src, dst, seed())
+		return got != nil && got[0] == ref[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// migrateRunNoT is migrateRun without a testing.T (for quick.Check).
+func migrateRunNoT(c *Compiled, src, dst isa.Arch, bus isa.Bus) []uint64 {
+	srcCPU := c.NewCPU(src, 0xF0000)
+	dstCPU := c.NewCPU(dst, 0xE0000)
+	migrated := false
+	mb := &migBus{Bus: bus}
+	mb.onMigrate = func(id int) {
+		if migrated {
+			return
+		}
+		migrated = true
+		dstPC, _ := c.PointPC(dst, id)
+		xlate.Transform(srcCPU, dstCPU, c.IR.NumVRegs, c.RegMapFor(src), c.RegMapFor(dst), dstPC, id)
+	}
+	for !srcCPU.Halted() && !migrated {
+		if err := srcCPU.Step(mb, c.Code(src), 0); err != nil {
+			return nil
+		}
+	}
+	final := srcCPU
+	if migrated {
+		if err := isa.Run(dstCPU, mb, c.Code(dst), 0, 10_000_000); err != nil {
+			return nil
+		}
+		final = dstCPU
+	}
+	out := make([]uint64, c.IR.NumVRegs)
+	rm := c.RegMapFor(final.Arch())
+	for v := range out {
+		out[v] = final.Reg(rm(v))
+	}
+	return out
+}
+
+func TestXlateRoundTripIdentity(t *testing.T) {
+	// x86 -> common -> arm -> common -> x86 must be the identity.
+	f := func(vals [8]uint64) bool {
+		x := isa.NewX86CPU(0, 0)
+		a := isa.NewArmCPU(0, 0)
+		xm := func(v int) int { return x86VRegBase + v }
+		am := func(v int) int { return armVRegBase + v }
+		for v, val := range vals {
+			x.SetReg(xm(v), val)
+		}
+		cs := xlate.Capture(x, len(vals), xm)
+		if err := xlate.Restore(a, cs, am, 0x40); err != nil {
+			return false
+		}
+		cs2 := xlate.Capture(a, len(vals), am)
+		x2 := isa.NewX86CPU(0, 0)
+		if err := xlate.Restore(x2, cs2, xm, 0x80); err != nil {
+			return false
+		}
+		for v, val := range vals {
+			if x2.Reg(xm(v)) != val {
+				return false
+			}
+		}
+		return x2.PC() == 0x80 && a.PC() == 0x40
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXlateInvalidRegMap(t *testing.T) {
+	x := isa.NewX86CPU(0, 0)
+	cs := xlate.CommonState{VRegs: []uint64{1}}
+	if err := xlate.Restore(x, cs, func(int) int { return 99 }, 0); err == nil {
+		t.Error("out-of-range register map accepted")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := []*Program{
+		{Name: "badreg", NumVRegs: 2, Instrs: []Instr{{Op: Add, D: 5, A: 0, B: 1}}},
+		{Name: "badjmp", NumVRegs: 2, Instrs: []Instr{{Op: Jmp, Imm: 99}}},
+		{Name: "badjz", NumVRegs: 2, Instrs: []Instr{{Op: Jz, A: 0, Imm: -1}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", p.Name)
+		}
+	}
+}
+
+func TestCompileRejectsTooManyVRegs(t *testing.T) {
+	p := &Program{Name: "wide", NumVRegs: 20, Instrs: []Instr{{Op: Halt}}}
+	if _, err := Compile(p); err == nil {
+		t.Error("20 vregs accepted by x86 target with 13 slots")
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	if _, err := NewBuilder("x", 1).Jmp("nope").Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestEvalNonHaltingProgram(t *testing.T) {
+	p := NewBuilder("spin", 1).Label("x").Jmp("x").MustBuild()
+	if _, err := p.Eval(isa.NewMapBus(), 100); err == nil {
+		t.Error("non-halting Eval succeeded")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Add.String() != "add" || Halt.String() != "halt" {
+		t.Error("op names wrong")
+	}
+}

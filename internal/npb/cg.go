@@ -1,0 +1,255 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+)
+
+// CG is the NPB conjugate gradient kernel: repeated sparse matrix-vector
+// products plus vector updates. It is the paper's read-intensive benchmark
+// — ~98% of its memory instructions are loads [1] — which is why Stramash
+// with remote data placement suffers on it until the L3 grows (Figure 10).
+type CG struct {
+	N          int // rows
+	NNZPerRow  int
+	Iterations int
+}
+
+// NewCG sizes conjugate gradient for a class.
+func NewCG(class Class) *CG {
+	switch class {
+	case ClassT:
+		return &CG{N: 256, NNZPerRow: 8, Iterations: 2}
+	case ClassW:
+		return &CG{N: 4096, NNZPerRow: 14, Iterations: 6}
+	default:
+		return &CG{N: 2048, NNZPerRow: 12, Iterations: 5}
+	}
+}
+
+// Name implements Workload.
+func (b *CG) Name() string { return "CG" }
+
+// f2u / u2f move float64 values through 64-bit simulated memory words.
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+
+// Run implements Workload.
+func (b *CG) Run(t *kernel.Task, migrate bool) error {
+	n, nnz := b.N, b.N*b.NNZPerRow
+
+	rowptr, err := allocArr(t, "cg.rowptr", n+1)
+	if err != nil {
+		return err
+	}
+	colidx, err := allocArr(t, "cg.colidx", nnz)
+	if err != nil {
+		return err
+	}
+	aval, err := allocArr(t, "cg.a", nnz)
+	if err != nil {
+		return err
+	}
+	x, err := allocArr(t, "cg.x", n)
+	if err != nil {
+		return err
+	}
+	q, err := allocArr(t, "cg.q", n)
+	if err != nil {
+		return err
+	}
+	z, err := allocArr(t, "cg.z", n)
+	if err != nil {
+		return err
+	}
+
+	// Host-side mirrors for verification: the reference computation is
+	// performed with the identical operation order, so results must match
+	// bit-for-bit.
+	hRowptr := make([]int, n+1)
+	hCol := make([]int, nnz)
+	hA := make([]float64, nnz)
+	hX := make([]float64, n)
+	hQ := make([]float64, n)
+	hZ := make([]float64, n)
+
+	// Build a random sparse matrix with a dominant diagonal.
+	rng := newRNG(0xC6)
+	pos := 0
+	for i := 0; i < n; i++ {
+		hRowptr[i] = pos
+		for j := 0; j < b.NNZPerRow; j++ {
+			col := i
+			if j > 0 {
+				col = rng.Intn(n)
+			}
+			hCol[pos] = col
+			v := float64(rng.Intn(1000))/1000.0 + 0.001
+			if col == i {
+				v += float64(b.NNZPerRow)
+			}
+			hA[pos] = v
+			pos++
+		}
+	}
+	hRowptr[n] = pos
+
+	// Write the matrix and the starting vector into simulated memory.
+	for i := 0; i <= n; i++ {
+		if err := rowptr.set(t, i, uint64(hRowptr[i])); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < nnz; k++ {
+		if err := colidx.set(t, k, uint64(hCol[k])); err != nil {
+			return err
+		}
+		if err := aval.set(t, k, f2u(hA[k])); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		hX[i] = 1.0
+		if err := x.set(t, i, f2u(1.0)); err != nil {
+			return err
+		}
+		hZ[i] = 0
+		if err := z.set(t, i, f2u(0)); err != nil {
+			return err
+		}
+		if err := q.set(t, i, f2u(0)); err != nil {
+			return err
+		}
+	}
+
+	t.BeginTimed()
+	for iter := 0; iter < b.Iterations; iter++ {
+		err := offload(t, migrate, func() error {
+			// q = A * x (the load-dominated sparse matvec).
+			for i := 0; i < n; i++ {
+				lo, err := rowptr.get(t, i)
+				if err != nil {
+					return err
+				}
+				hi, err := rowptr.get(t, i+1)
+				if err != nil {
+					return err
+				}
+				sum := 0.0
+				for k := int(lo); k < int(hi); k++ {
+					cu, err := colidx.get(t, k)
+					if err != nil {
+						return err
+					}
+					au, err := aval.get(t, k)
+					if err != nil {
+						return err
+					}
+					xu, err := x.get(t, int(cu))
+					if err != nil {
+						return err
+					}
+					sum += u2f(au) * u2f(xu)
+					t.Compute(4)
+				}
+				if err := q.set(t, i, f2u(sum)); err != nil {
+					return err
+				}
+			}
+			// alpha = 1 / (x . q); z += alpha * x; x = q normalized.
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				xu, err := x.get(t, i)
+				if err != nil {
+					return err
+				}
+				qu, err := q.get(t, i)
+				if err != nil {
+					return err
+				}
+				dot += u2f(xu) * u2f(qu)
+				t.Compute(3)
+			}
+			alpha := 1.0 / dot
+			norm := 0.0
+			for i := 0; i < n; i++ {
+				zu, err := z.get(t, i)
+				if err != nil {
+					return err
+				}
+				xu, err := x.get(t, i)
+				if err != nil {
+					return err
+				}
+				if err := z.set(t, i, f2u(u2f(zu)+alpha*u2f(xu))); err != nil {
+					return err
+				}
+				qu, err := q.get(t, i)
+				if err != nil {
+					return err
+				}
+				norm += u2f(qu) * u2f(qu)
+				t.Compute(6)
+			}
+			inv := 1.0 / math.Sqrt(norm)
+			for i := 0; i < n; i++ {
+				qu, err := q.get(t, i)
+				if err != nil {
+					return err
+				}
+				if err := x.set(t, i, f2u(u2f(qu)*inv)); err != nil {
+					return err
+				}
+				t.Compute(3)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("npb/CG iter %d: %w", iter, err)
+		}
+
+		// Reference computation with identical order.
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := hRowptr[i]; k < hRowptr[i+1]; k++ {
+				sum += hA[k] * hX[hCol[k]]
+			}
+			hQ[i] = sum
+		}
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += hX[i] * hQ[i]
+		}
+		alpha := 1.0 / dot
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			hZ[i] += alpha * hX[i]
+			norm += hQ[i] * hQ[i]
+		}
+		inv := 1.0 / math.Sqrt(norm)
+		for i := 0; i < n; i++ {
+			hX[i] = hQ[i] * inv
+		}
+	}
+
+	// Verify: simulated z and x must match the reference bit-for-bit.
+	for i := 0; i < n; i++ {
+		zu, err := z.get(t, i)
+		if err != nil {
+			return err
+		}
+		if u2f(zu) != hZ[i] {
+			return fmt.Errorf("npb/CG: z[%d] = %g, want %g", i, u2f(zu), hZ[i])
+		}
+		xu, err := x.get(t, i)
+		if err != nil {
+			return err
+		}
+		if u2f(xu) != hX[i] {
+			return fmt.Errorf("npb/CG: x[%d] = %g, want %g", i, u2f(xu), hX[i])
+		}
+	}
+	return nil
+}

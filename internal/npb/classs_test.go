@@ -1,0 +1,55 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// TestClassSVerifiesUnderMigration runs the evaluation-sized workloads end
+// to end with migration under the fused OS — the exact runs Figure 9's
+// Stramash bars time — and relies on each benchmark's built-in bit-exact
+// verification. Guarded by -short because the four runs take a few seconds.
+func TestClassSVerifiesUnderMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := New(name, ClassS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOn(t, w, machine.StramashOS, mem.Shared, true)
+		})
+	}
+}
+
+// TestClassSPopcornMatchesStramashResults runs CG at class S under both
+// OSes; both verify against the same reference, so agreement is implied —
+// this asserts the runs complete and produce consistent fault behaviour.
+func TestClassSPopcornMatchesStramashResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, err := New("CG", ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := runOn(t, w, machine.PopcornSHM, mem.Shared, true)
+	w2, _ := New("CG", ClassS)
+	str := runOn(t, w2, machine.StramashOS, mem.Shared, true)
+	if pop.Task.Stats.Migrations != str.Task.Stats.Migrations {
+		t.Errorf("migration counts differ: %d vs %d",
+			pop.Task.Stats.Migrations, str.Task.Stats.Migrations)
+	}
+	// Popcorn must have taken many more faults (DSM re-faults after
+	// invalidations) than the fused design.
+	popFaults := pop.Task.Stats.ReadFaults + pop.Task.Stats.WriteFaults
+	strFaults := str.Task.Stats.ReadFaults + str.Task.Stats.WriteFaults
+	if popFaults <= strFaults {
+		t.Errorf("popcorn faults (%d) not above stramash's (%d)", popFaults, strFaults)
+	}
+}

@@ -1,0 +1,247 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+)
+
+// FT is the NPB fast Fourier transform kernel: a radix-2 decimation-in-time
+// FFT whose bit-reversal permutation and widening butterfly strides scatter
+// across the array's pages. In the paper this is the benchmark whose
+// working set is largely first-touched on the remote side, which is why
+// Stramash's Table 3 replication count stays high for FT (83% reduction
+// instead of >99.9%): the out-of-place work buffer is allocated during the
+// offloaded phases, exercising the origin-handled fault path (§9.2.3).
+type FT struct {
+	// LogN is log2 of the transform size.
+	LogN       int
+	Iterations int
+}
+
+// NewFT sizes the transform for a class.
+func NewFT(class Class) *FT {
+	switch class {
+	case ClassT:
+		return &FT{LogN: 8, Iterations: 1}
+	case ClassW:
+		return &FT{LogN: 14, Iterations: 2}
+	default:
+		return &FT{LogN: 13, Iterations: 2}
+	}
+}
+
+// Name implements Workload.
+func (b *FT) Name() string { return "FT" }
+
+// Run implements Workload.
+func (b *FT) Run(t *kernel.Task, migrate bool) error {
+	n := 1 << b.LogN
+
+	// Complex data as interleaved (re, im) 64-bit words.
+	data, err := allocArr(t, "ft.data", 2*n)
+	if err != nil {
+		return err
+	}
+	// Twiddle table, n/2 complex factors.
+	tw, err := allocArr(t, "ft.twiddle", n)
+	if err != nil {
+		return err
+	}
+	// Out-of-place work buffer: deliberately NOT touched at the origin —
+	// first touch happens inside the offloaded phases (see type comment).
+	work, err := allocArr(t, "ft.work", 2*n)
+	if err != nil {
+		return err
+	}
+
+	// Host mirrors.
+	hRe := make([]float64, n)
+	hIm := make([]float64, n)
+
+	rng := newRNG(0xF7)
+	for i := 0; i < n; i++ {
+		hRe[i] = float64(rng.Intn(2000)-1000) / 1000.0
+		hIm[i] = float64(rng.Intn(2000)-1000) / 1000.0
+		if err := data.set(t, 2*i, f2u(hRe[i])); err != nil {
+			return err
+		}
+		if err := data.set(t, 2*i+1, f2u(hIm[i])); err != nil {
+			return err
+		}
+	}
+	// Twiddle factors W_n^k for k in [0, n/2).
+	hTwRe := make([]float64, n/2)
+	hTwIm := make([]float64, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		hTwRe[k] = math.Cos(ang)
+		hTwIm[k] = math.Sin(ang)
+		if err := tw.set(t, 2*k, f2u(hTwRe[k])); err != nil {
+			return err
+		}
+		if err := tw.set(t, 2*k+1, f2u(hTwIm[k])); err != nil {
+			return err
+		}
+	}
+
+	bitrev := func(x, bits int) int {
+		r := 0
+		for i := 0; i < bits; i++ {
+			r = r<<1 | (x>>i)&1
+		}
+		return r
+	}
+
+	t.BeginTimed()
+	for iter := 0; iter < b.Iterations; iter++ {
+		// Phase 1 (offloaded): bit-reversal permutation into the work
+		// buffer — scattered writes, first touch of work[] on the remote.
+		err := offload(t, migrate, func() error {
+			for i := 0; i < n; i++ {
+				j := bitrev(i, b.LogN)
+				re, err := data.get(t, 2*i)
+				if err != nil {
+					return err
+				}
+				im, err := data.get(t, 2*i+1)
+				if err != nil {
+					return err
+				}
+				if err := work.set(t, 2*j, re); err != nil {
+					return err
+				}
+				if err := work.set(t, 2*j+1, im); err != nil {
+					return err
+				}
+				t.Compute(8)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("npb/FT bitrev: %w", err)
+		}
+
+		// Phases 2..: butterfly passes in groups (the "dimensions" of the
+		// original 3-D transform), each offloaded.
+		group := (b.LogN + 2) / 3
+		for s0 := 1; s0 <= b.LogN; s0 += group {
+			s0 := s0
+			err := offload(t, migrate, func() error {
+				for s := s0; s < s0+group && s <= b.LogN; s++ {
+					m := 1 << s
+					half := m / 2
+					step := n / m
+					for k := 0; k < n; k += m {
+						for j := 0; j < half; j++ {
+							twu, err := tw.get(t, 2*(j*step))
+							if err != nil {
+								return err
+							}
+							twv, err := tw.get(t, 2*(j*step)+1)
+							if err != nil {
+								return err
+							}
+							wr, wi := u2f(twu), u2f(twv)
+							aRe, err := work.get(t, 2*(k+j))
+							if err != nil {
+								return err
+							}
+							aIm, err := work.get(t, 2*(k+j)+1)
+							if err != nil {
+								return err
+							}
+							bRe, err := work.get(t, 2*(k+j+half))
+							if err != nil {
+								return err
+							}
+							bIm, err := work.get(t, 2*(k+j+half)+1)
+							if err != nil {
+								return err
+							}
+							tr := wr*u2f(bRe) - wi*u2f(bIm)
+							ti := wr*u2f(bIm) + wi*u2f(bRe)
+							if err := work.set(t, 2*(k+j), f2u(u2f(aRe)+tr)); err != nil {
+								return err
+							}
+							if err := work.set(t, 2*(k+j)+1, f2u(u2f(aIm)+ti)); err != nil {
+								return err
+							}
+							if err := work.set(t, 2*(k+j+half), f2u(u2f(aRe)-tr)); err != nil {
+								return err
+							}
+							if err := work.set(t, 2*(k+j+half)+1, f2u(u2f(aIm)-ti)); err != nil {
+								return err
+							}
+							t.Compute(12)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("npb/FT butterflies at stage %d: %w", s0, err)
+			}
+		}
+
+		// Copy back (evolution step in real FT; here data <- work).
+		err = offload(t, migrate, func() error {
+			for i := 0; i < 2*n; i++ {
+				v, err := work.get(t, i)
+				if err != nil {
+					return err
+				}
+				if err := data.set(t, i, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// Reference FFT with identical operation order.
+		rRe := make([]float64, n)
+		rIm := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := bitrev(i, b.LogN)
+			rRe[j], rIm[j] = hRe[i], hIm[i]
+		}
+		for s := 1; s <= b.LogN; s++ {
+			m := 1 << s
+			half := m / 2
+			step := n / m
+			for k := 0; k < n; k += m {
+				for j := 0; j < half; j++ {
+					wr, wi := hTwRe[j*step], hTwIm[j*step]
+					tr := wr*rRe[k+j+half] - wi*rIm[k+j+half]
+					ti := wr*rIm[k+j+half] + wi*rRe[k+j+half]
+					rRe[k+j+half] = rRe[k+j] - tr
+					rIm[k+j+half] = rIm[k+j] - ti
+					rRe[k+j] += tr
+					rIm[k+j] += ti
+				}
+			}
+		}
+		copy(hRe, rRe)
+		copy(hIm, rIm)
+	}
+
+	// Verify bit-for-bit against the reference.
+	for i := 0; i < n; i++ {
+		re, err := data.get(t, 2*i)
+		if err != nil {
+			return err
+		}
+		im, err := data.get(t, 2*i+1)
+		if err != nil {
+			return err
+		}
+		if u2f(re) != hRe[i] || u2f(im) != hIm[i] {
+			return fmt.Errorf("npb/FT: [%d] = (%g,%g), want (%g,%g)", i, u2f(re), u2f(im), hRe[i], hIm[i])
+		}
+	}
+	return nil
+}

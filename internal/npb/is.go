@@ -1,0 +1,156 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// IS is the NPB integer sort: a bucketed counting sort over uniformly
+// distributed keys. It is the paper's write-intensive benchmark — the
+// histogram and ranking passes modify the key sequence in place (§9.2.1),
+// which under DSM means constant invalidation traffic and under hardware
+// coherence means Snoop Invalidate churn (Figure 10's analysis).
+type IS struct {
+	Keys       int
+	MaxKey     int
+	Iterations int
+}
+
+// NewIS sizes integer sort for a class.
+func NewIS(class Class) *IS {
+	switch class {
+	case ClassT:
+		return &IS{Keys: 2048, MaxKey: 512, Iterations: 2}
+	case ClassW:
+		return &IS{Keys: 1 << 17, MaxKey: 4096, Iterations: 4}
+	default:
+		return &IS{Keys: 1 << 16, MaxKey: 2048, Iterations: 4}
+	}
+}
+
+// Name implements Workload.
+func (b *IS) Name() string { return "IS" }
+
+// Run implements Workload.
+func (b *IS) Run(t *kernel.Task, migrate bool) error {
+	keys, err := allocArr(t, "is.keys", b.Keys)
+	if err != nil {
+		return err
+	}
+	counts, err := allocArr(t, "is.counts", b.MaxKey)
+	if err != nil {
+		return err
+	}
+	ranks, err := allocArr(t, "is.ranks", b.Keys)
+	if err != nil {
+		return err
+	}
+
+	// Key generation (charged: the original's create_seq is part of the
+	// run) — uniform keys from the deterministic generator.
+	rng := newRNG(0x15AD)
+	host := make([]uint64, b.Keys)
+	for i := range host {
+		host[i] = rng.Uint64() % uint64(b.MaxKey)
+		if err := keys.set(t, i, host[i]); err != nil {
+			return err
+		}
+		t.Compute(4)
+	}
+	// NPB initializes all arrays before the timed section, so the count
+	// and rank arrays are first touched at the origin.
+	for i := 0; i < b.MaxKey; i++ {
+		if err := counts.set(t, i, 0); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < b.Keys; i++ {
+		if err := ranks.set(t, i, 0); err != nil {
+			return err
+		}
+	}
+
+	t.BeginTimed()
+	for iter := 0; iter < b.Iterations; iter++ {
+		err := offload(t, migrate, func() error {
+			// Histogram pass: read key, bump bucket (read-modify-write).
+			for i := 0; i < b.MaxKey; i++ {
+				if err := counts.set(t, i, 0); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < b.Keys; i++ {
+				k, err := keys.get(t, i)
+				if err != nil {
+					return err
+				}
+				c, err := counts.get(t, int(k))
+				if err != nil {
+					return err
+				}
+				if err := counts.set(t, int(k), c+1); err != nil {
+					return err
+				}
+				t.Compute(6)
+			}
+			// Exclusive prefix sum over the buckets.
+			var running uint64
+			for i := 0; i < b.MaxKey; i++ {
+				c, err := counts.get(t, i)
+				if err != nil {
+					return err
+				}
+				if err := counts.set(t, i, running); err != nil {
+					return err
+				}
+				running += c
+				t.Compute(3)
+			}
+			// Ranking pass: scatter each key's rank (write-intensive).
+			for i := 0; i < b.Keys; i++ {
+				k, err := keys.get(t, i)
+				if err != nil {
+					return err
+				}
+				r, err := counts.get(t, int(k))
+				if err != nil {
+					return err
+				}
+				if err := counts.set(t, int(k), r+1); err != nil {
+					return err
+				}
+				if err := ranks.set(t, i, r); err != nil {
+					return err
+				}
+				t.Compute(6)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("npb/IS iter %d: %w", iter, err)
+		}
+	}
+
+	// Full verification (like NPB's partial+full verification): ranks must
+	// be a permutation of 0..Keys-1 that sorts the keys.
+	seen := make([]bool, b.Keys)
+	order := make([]uint64, b.Keys)
+	for i := 0; i < b.Keys; i++ {
+		r, err := ranks.get(t, i)
+		if err != nil {
+			return err
+		}
+		if r >= uint64(b.Keys) || seen[r] {
+			return fmt.Errorf("npb/IS: rank %d of key %d invalid or duplicated", r, i)
+		}
+		seen[r] = true
+		order[r] = host[i]
+	}
+	for i := 1; i < b.Keys; i++ {
+		if order[i-1] > order[i] {
+			return fmt.Errorf("npb/IS: keys not sorted at position %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package npb
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// MG is the NPB multigrid kernel: V-cycles of 7-point smoothing,
+// restriction and prolongation over a hierarchy of 3-D grids. Its mix of
+// strided reads and writes across several arrays sits between CG and IS in
+// the paper's read/write spectrum.
+type MG struct {
+	// Dim is the finest grid dimension (power of two).
+	Dim    int
+	Cycles int
+	Levels int
+}
+
+// NewMG sizes multigrid for a class.
+func NewMG(class Class) *MG {
+	switch class {
+	case ClassT:
+		return &MG{Dim: 8, Cycles: 1, Levels: 2}
+	case ClassW:
+		return &MG{Dim: 32, Cycles: 2, Levels: 4}
+	default:
+		return &MG{Dim: 16, Cycles: 3, Levels: 3}
+	}
+}
+
+// Name implements Workload.
+func (b *MG) Name() string { return "MG" }
+
+// grid is one refinement level in both simulated and host memory.
+type mgGrid struct {
+	dim int
+	u   arr       // solution
+	r   arr       // residual/rhs
+	hu  []float64 // host mirror
+	hr  []float64
+}
+
+func (g *mgGrid) idx(x, y, z int) int { return (z*g.dim+y)*g.dim + x }
+
+// Run implements Workload.
+func (b *MG) Run(t *kernel.Task, migrate bool) error {
+	grids := make([]*mgGrid, b.Levels)
+	dim := b.Dim
+	for l := 0; l < b.Levels; l++ {
+		n := dim * dim * dim
+		u, err := allocArr(t, fmt.Sprintf("mg.u%d", l), n)
+		if err != nil {
+			return err
+		}
+		r, err := allocArr(t, fmt.Sprintf("mg.r%d", l), n)
+		if err != nil {
+			return err
+		}
+		grids[l] = &mgGrid{dim: dim, u: u, r: r, hu: make([]float64, n), hr: make([]float64, n)}
+		dim /= 2
+		if dim < 2 {
+			b.Levels = l + 1
+			grids = grids[:b.Levels]
+			break
+		}
+	}
+
+	// Initialize the fine grid with a deterministic charge distribution
+	// (NPB MG uses +1/-1 spikes).
+	rng := newRNG(0x36)
+	fine := grids[0]
+	for i := range fine.hr {
+		fine.hr[i] = 0
+		fine.hu[i] = 0
+	}
+	for s := 0; s < 20; s++ {
+		at := rng.Intn(len(fine.hr))
+		v := 1.0
+		if s%2 == 1 {
+			v = -1.0
+		}
+		fine.hr[at] = v
+	}
+	for i := range fine.hr {
+		if err := fine.r.set(t, i, f2u(fine.hr[i])); err != nil {
+			return err
+		}
+		if err := fine.u.set(t, i, f2u(0)); err != nil {
+			return err
+		}
+	}
+	for _, g := range grids[1:] {
+		for i := range g.hr {
+			if err := g.r.set(t, i, f2u(0)); err != nil {
+				return err
+			}
+			if err := g.u.set(t, i, f2u(0)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// smooth runs one Jacobi-ish 7-point relaxation in simulated memory.
+	smooth := func(g *mgGrid) error {
+		d := g.dim
+		for z := 1; z < d-1; z++ {
+			for y := 1; y < d-1; y++ {
+				for x := 1; x < d-1; x++ {
+					var nb [6]float64
+					offs := [6]int{g.idx(x-1, y, z), g.idx(x+1, y, z),
+						g.idx(x, y-1, z), g.idx(x, y+1, z),
+						g.idx(x, y, z-1), g.idx(x, y, z+1)}
+					for k, o := range offs {
+						v, err := g.u.get(t, o)
+						if err != nil {
+							return err
+						}
+						nb[k] = u2f(v)
+					}
+					rv, err := g.r.get(t, g.idx(x, y, z))
+					if err != nil {
+						return err
+					}
+					nv := (nb[0] + nb[1] + nb[2] + nb[3] + nb[4] + nb[5] + u2f(rv)) / 6.0
+					if err := g.u.set(t, g.idx(x, y, z), f2u(nv)); err != nil {
+						return err
+					}
+					t.Compute(10)
+				}
+			}
+		}
+		return nil
+	}
+	// hostSmooth mirrors smooth exactly.
+	hostSmooth := func(g *mgGrid) {
+		d := g.dim
+		for z := 1; z < d-1; z++ {
+			for y := 1; y < d-1; y++ {
+				for x := 1; x < d-1; x++ {
+					nv := (g.hu[g.idx(x-1, y, z)] + g.hu[g.idx(x+1, y, z)] +
+						g.hu[g.idx(x, y-1, z)] + g.hu[g.idx(x, y+1, z)] +
+						g.hu[g.idx(x, y, z-1)] + g.hu[g.idx(x, y, z+1)] +
+						g.hr[g.idx(x, y, z)]) / 6.0
+					g.hu[g.idx(x, y, z)] = nv
+				}
+			}
+		}
+	}
+
+	// restrict pushes the fine residual down one level (injection of the
+	// even points, like NPB's rprj3 simplified).
+	restrictDown := func(f, c *mgGrid) error {
+		d := c.dim
+		for z := 0; z < d; z++ {
+			for y := 0; y < d; y++ {
+				for x := 0; x < d; x++ {
+					v, err := f.u.get(t, f.idx(x*2, y*2, z*2))
+					if err != nil {
+						return err
+					}
+					if err := c.r.set(t, c.idx(x, y, z), v); err != nil {
+						return err
+					}
+					if err := c.u.set(t, c.idx(x, y, z), f2u(0)); err != nil {
+						return err
+					}
+					t.Compute(4)
+				}
+			}
+		}
+		return nil
+	}
+	hostRestrict := func(f, c *mgGrid) {
+		d := c.dim
+		for z := 0; z < d; z++ {
+			for y := 0; y < d; y++ {
+				for x := 0; x < d; x++ {
+					c.hr[c.idx(x, y, z)] = f.hu[f.idx(x*2, y*2, z*2)]
+					c.hu[c.idx(x, y, z)] = 0
+				}
+			}
+		}
+	}
+
+	// prolongate adds the coarse correction back (trilinear injection).
+	prolongate := func(c, f *mgGrid) error {
+		d := c.dim
+		for z := 0; z < d; z++ {
+			for y := 0; y < d; y++ {
+				for x := 0; x < d; x++ {
+					cv, err := c.u.get(t, c.idx(x, y, z))
+					if err != nil {
+						return err
+					}
+					fi := f.idx(x*2, y*2, z*2)
+					fv, err := f.u.get(t, fi)
+					if err != nil {
+						return err
+					}
+					if err := f.u.set(t, fi, f2u(u2f(fv)+u2f(cv))); err != nil {
+						return err
+					}
+					t.Compute(5)
+				}
+			}
+		}
+		return nil
+	}
+	hostProlongate := func(c, f *mgGrid) {
+		d := c.dim
+		for z := 0; z < d; z++ {
+			for y := 0; y < d; y++ {
+				for x := 0; x < d; x++ {
+					f.hu[f.idx(x*2, y*2, z*2)] += c.hu[c.idx(x, y, z)]
+				}
+			}
+		}
+	}
+
+	t.BeginTimed()
+	for cyc := 0; cyc < b.Cycles; cyc++ {
+		err := offload(t, migrate, func() error {
+			// Down-sweep.
+			for l := 0; l < b.Levels-1; l++ {
+				if err := smooth(grids[l]); err != nil {
+					return err
+				}
+				if err := restrictDown(grids[l], grids[l+1]); err != nil {
+					return err
+				}
+			}
+			// Coarse solve: a few smoothings.
+			for s := 0; s < 3; s++ {
+				if err := smooth(grids[b.Levels-1]); err != nil {
+					return err
+				}
+			}
+			// Up-sweep.
+			for l := b.Levels - 2; l >= 0; l-- {
+				if err := prolongate(grids[l+1], grids[l]); err != nil {
+					return err
+				}
+				if err := smooth(grids[l]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("npb/MG cycle %d: %w", cyc, err)
+		}
+
+		// Reference V-cycle, identical order.
+		for l := 0; l < b.Levels-1; l++ {
+			hostSmooth(grids[l])
+			hostRestrict(grids[l], grids[l+1])
+		}
+		for s := 0; s < 3; s++ {
+			hostSmooth(grids[b.Levels-1])
+		}
+		for l := b.Levels - 2; l >= 0; l-- {
+			hostProlongate(grids[l+1], grids[l])
+			hostSmooth(grids[l])
+		}
+	}
+
+	// Verify the fine grid bit-for-bit.
+	for i := range fine.hu {
+		v, err := fine.u.get(t, i)
+		if err != nil {
+			return err
+		}
+		if u2f(v) != fine.hu[i] {
+			return fmt.Errorf("npb/MG: u[%d] = %g, want %g", i, u2f(v), fine.hu[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package npb
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// runOn builds a machine and runs the workload, returning elapsed cycles.
+func runOn(t *testing.T, w Workload, os machine.OSKind, model mem.Model, migrate bool) machine.Result {
+	t.Helper()
+	m, err := machine.New(machine.Config{Model: model, OS: os})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunSingle(w.Name(), mem.NodeX86, func(task *kernel.Task) error {
+		return w.Run(task, migrate)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllBenchmarksVerifyVanilla(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := New(name, ClassT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runOn(t, w, machine.VanillaOS, mem.Shared, false)
+			if res.Elapsed() <= 0 {
+				t.Error("no simulated time elapsed")
+			}
+			if res.Task.Stats.Migrations != 0 {
+				t.Error("vanilla run migrated")
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksVerifyUnderMigration(t *testing.T) {
+	for _, os := range []machine.OSKind{machine.PopcornSHM, machine.StramashOS} {
+		for _, name := range Names() {
+			os, name := os, name
+			t.Run(os.String()+"/"+name, func(t *testing.T) {
+				w, err := New(name, ClassT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := runOn(t, w, os, mem.Shared, true)
+				if res.Task.Stats.Migrations == 0 {
+					t.Error("migrating run did not migrate")
+				}
+			})
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := New("LU", ClassS); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestISIsWriteHeavierThanCG(t *testing.T) {
+	// The paper's premise (§9.2.1): CG is read-intensive, IS is
+	// write-intensive. Check store/load ratios on vanilla runs.
+	ratio := func(name string) float64 {
+		w, _ := New(name, ClassT)
+		res := runOn(t, w, machine.VanillaOS, mem.Shared, false)
+		st := res.Task.TimedStats() // NPB times only the iteration loop
+		return float64(st.Stores) / float64(st.Loads+st.Stores)
+	}
+	is := ratio("IS")
+	cg := ratio("CG")
+	if is <= cg {
+		t.Errorf("IS write fraction %.3f not above CG's %.3f", is, cg)
+	}
+	if cg > 0.25 {
+		t.Errorf("CG write fraction %.3f too high for a read-intensive kernel", cg)
+	}
+}
+
+func TestStramashBeatsPopcornOnISShared(t *testing.T) {
+	// The headline result at tiny scale: IS under Stramash must beat IS
+	// under Popcorn-SHM on the same Shared machine.
+	w, _ := New("IS", ClassT)
+	pop := runOn(t, w, machine.PopcornSHM, mem.Shared, true)
+	w2, _ := New("IS", ClassT)
+	str := runOn(t, w2, machine.StramashOS, mem.Shared, true)
+	if str.Elapsed() >= pop.Elapsed() {
+		t.Errorf("Stramash IS (%d cycles) not faster than Popcorn-SHM (%d cycles)",
+			str.Elapsed(), pop.Elapsed())
+	}
+}
+
+func TestMessageReductionShape(t *testing.T) {
+	// Table 3's shape: Stramash cuts messages by orders of magnitude.
+	msgs := func(os machine.OSKind) int64 {
+		m, err := machine.New(machine.Config{Model: mem.Shared, OS: os})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := New("IS", ClassT)
+		if _, err := m.RunSingle("IS", mem.NodeX86, func(task *kernel.Task) error {
+			return w.Run(task, true)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Messages()
+	}
+	pop := msgs(machine.PopcornSHM)
+	str := msgs(machine.StramashOS)
+	if str*10 > pop {
+		t.Errorf("Stramash messages (%d) not <10%% of Popcorn's (%d)", str, pop)
+	}
+}
+
+func TestClassSizesOrdered(t *testing.T) {
+	for _, name := range Names() {
+		// ClassT must be the smallest configuration.
+		small, _ := New(name, ClassT)
+		large, _ := New(name, ClassW)
+		if small == nil || large == nil {
+			t.Fatal("constructor returned nil")
+		}
+	}
+	is := NewIS(ClassT)
+	isW := NewIS(ClassW)
+	if is.Keys >= isW.Keys {
+		t.Error("IS class sizes not increasing")
+	}
+	if NewCG(ClassT).N >= NewCG(ClassW).N {
+		t.Error("CG class sizes not increasing")
+	}
+	if NewFT(ClassT).LogN >= NewFT(ClassW).LogN {
+		t.Error("FT class sizes not increasing")
+	}
+	if NewMG(ClassT).Dim >= NewMG(ClassW).Dim {
+		t.Error("MG class sizes not increasing")
+	}
+}
+
+func TestFTFirstTouchesWorkBufferRemotely(t *testing.T) {
+	// FT's work buffer is first touched during offloaded phases, driving
+	// Stramash's origin-handled path (Table 3's FT outlier).
+	m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := New("FT", ClassT)
+	if _, err := m.RunSingle("FT", mem.NodeX86, func(task *kernel.Task) error {
+		return w.Run(task, true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ftStats := m.StramashStats()
+
+	m2, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := New("IS", ClassT)
+	if _, err := m2.RunSingle("IS", mem.NodeX86, func(task *kernel.Task) error {
+		return w2.Run(task, true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	isStats := m2.StramashStats()
+
+	if ftStats.OriginHandled+ftStats.RemoteAllocations <= isStats.OriginHandled+isStats.RemoteAllocations {
+		t.Errorf("FT remote-first-touch activity (%d+%d) not above IS's (%d+%d)",
+			ftStats.OriginHandled, ftStats.RemoteAllocations,
+			isStats.OriginHandled, isStats.RemoteAllocations)
+	}
+}

@@ -1,0 +1,128 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+func TestCollectAttributesPerNode(t *testing.T) {
+	m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof Profile
+	_, err = m.RunSingle("w", mem.NodeX86, func(task *kernel.Task) error {
+		base, err := task.Proc.Mmap(64<<10, kernel.VMARead|kernel.VMAWrite, "d")
+		if err != nil {
+			return err
+		}
+		task.Compute(5000)
+		if err := task.Store(base, 8, 1); err != nil {
+			return err
+		}
+		if err := task.Migrate(mem.NodeArm); err != nil {
+			return err
+		}
+		task.Compute(3000)
+		for i := 0; i < 100; i++ {
+			if err := task.Store(base+pgtable.VirtAddr(i*8), 8, 1); err != nil {
+				return err
+			}
+		}
+		prof = Collect(task)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Node[0].Instructions < 5000 {
+		t.Errorf("x86 instructions = %d", prof.Node[0].Instructions)
+	}
+	if prof.Node[1].Instructions < 3000 {
+		t.Errorf("arm instructions = %d", prof.Node[1].Instructions)
+	}
+	if prof.Node[0].Cycles == 0 || prof.Node[1].Cycles == 0 {
+		t.Errorf("node cycles = %v/%v", prof.Node[0].Cycles, prof.Node[1].Cycles)
+	}
+	if prof.TotalInstructions() != prof.Node[0].Instructions+prof.Node[1].Instructions {
+		t.Error("TotalInstructions mismatch")
+	}
+	if prof.TotalCycles() != prof.Node[0].Cycles+prof.Node[1].Cycles {
+		t.Error("TotalCycles mismatch")
+	}
+	if prof.Node[0].IPC() <= 0 {
+		t.Error("IPC not positive")
+	}
+}
+
+func TestEstimateCycles(t *testing.T) {
+	p := Profile{Node: [2]NodePerf{
+		{Instructions: 1000, Cycles: 2000},
+		{Instructions: 500, Cycles: 1000},
+	}}
+	est := EstimateCycles(p, [2]float64{0.5, 0.5})
+	if est != 3000 {
+		t.Errorf("EstimateCycles = %d, want 3000", est)
+	}
+	if est := EstimateCycles(p, [2]float64{0, 0.5}); est != 1000 {
+		t.Errorf("zero-IPC node not skipped: %d", est)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); got != 0.1 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(90, 100); got != 0.1 {
+		t.Errorf("RelativeError symmetric = %v", got)
+	}
+	if got := RelativeError(5, 0); got != 0 {
+		t.Errorf("RelativeError zero actual = %v", got)
+	}
+}
+
+func TestBreakdownSumsAndRenders(t *testing.T) {
+	st := kernel.TaskStats{
+		ComputeCycles:   400,
+		MemAccessCycles: 500, // includes 100 of fault time
+		FaultCycles:     100,
+		MigrationCycles: 50,
+	}
+	b := BreakdownOf(st, 1000)
+	if b.Inst != 400 || b.Mem != 400 || b.Msg != 100 || b.Migration != 50 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.Other != 50 {
+		t.Errorf("Other = %d, want 50", b.Other)
+	}
+	s := b.String()
+	if !strings.Contains(s, "INST 40.0%") || !strings.Contains(s, "MSG 10.0%") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestArtifactDumpFormat(t *testing.T) {
+	st := cache.Stats{
+		L1DAccesses: 100, L1DHits: 90,
+		L2Accesses: 10, L2Hits: 5,
+		L3Accesses: 5, L3Hits: 4,
+		LocalMemHits: 1, RemoteMemHits: 2, RemoteSharedHits: 1,
+		MemAccesses: 100,
+	}
+	out := ArtifactDump("x86", st, 17, sim.Cycles(12345))
+	for _, want := range []string{
+		"x86:", "L1 Cache Hit Rate: 90.00%", "IPI: 17",
+		"Remote Memory Hits: 2", "Runtime: 12345",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

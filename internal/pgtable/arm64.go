@@ -1,0 +1,92 @@
+package pgtable
+
+import "repro/internal/mem"
+
+// Arm64Format is the AArch64 stage-1 translation descriptor layout with a
+// 4 KiB granule.
+//
+// Leaf (level-3 page descriptor) bits used:
+//
+//	bits 1:0   = 0b11  valid page descriptor
+//	bits 7:6   AP[2:1]: AP[1]=EL0 access, AP[2]=read-only (inverted vs x86!)
+//	bit  10    AF     access flag
+//	bits 12..47 output address
+//	bit  53    PXN    privileged execute-never
+//	bit  54    UXN    unprivileged execute-never
+//	bit  55    software dirty (Linux PTE_DIRTY software bit)
+//
+// Table descriptors are 0b11 in bits 1:0 plus the next-level table address.
+// Page descriptors and table descriptors are distinguished by translation
+// level, as in the architecture; this walker tracks levels explicitly.
+type Arm64Format struct{}
+
+const (
+	armValid   = 1 << 0
+	armTable   = 1 << 1 // at non-leaf levels: next is a table; at leaf: page
+	armAPUser  = 1 << 6 // AP[1]: EL0 can access
+	armAPRO    = 1 << 7 // AP[2]: read-only
+	armAF      = 1 << 10
+	armPXN     = 1 << 53
+	armUXN     = 1 << 54
+	armSWDirty = 1 << 55
+
+	armAddrMask = 0x0000FFFFFFFFF000
+)
+
+// Name implements Format.
+func (Arm64Format) Name() string { return "aarch64" }
+
+// EncodeLeaf implements Format.
+func (Arm64Format) EncodeLeaf(pfn uint64, p Perms) uint64 {
+	var e uint64
+	if !p.Present {
+		return 0
+	}
+	e |= armValid | armTable // page descriptor at level 3
+	if !p.Write {
+		e |= armAPRO // note the inverted polarity
+	}
+	if p.User {
+		e |= armAPUser
+	}
+	if p.Accessed {
+		e |= armAF
+	}
+	if p.Dirty {
+		e |= armSWDirty
+	}
+	if p.NoExec {
+		e |= armUXN | armPXN
+	}
+	e |= (pfn << mem.PageShift) & armAddrMask
+	return e
+}
+
+// DecodeLeaf implements Format.
+func (Arm64Format) DecodeLeaf(e uint64) (uint64, Perms, bool) {
+	if e&armValid == 0 {
+		return 0, Perms{}, false
+	}
+	p := Perms{
+		Present:  true,
+		Write:    e&armAPRO == 0, // inverted
+		User:     e&armAPUser != 0,
+		Accessed: e&armAF != 0,
+		Dirty:    e&armSWDirty != 0,
+		NoExec:   e&armUXN != 0,
+	}
+	return (e & armAddrMask) >> mem.PageShift, p, true
+}
+
+// EncodeTable implements Format.
+func (Arm64Format) EncodeTable(pa mem.PhysAddr) uint64 {
+	return uint64(pa)&armAddrMask | armValid | armTable
+}
+
+// DecodeTable implements Format.
+func (Arm64Format) DecodeTable(e uint64) (mem.PhysAddr, bool) {
+	if e&armValid == 0 {
+		return 0, false
+	}
+	return mem.PhysAddr(e & armAddrMask), true
+}

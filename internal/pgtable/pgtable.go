@@ -1,0 +1,202 @@
+// Package pgtable implements bit-accurate page tables for both ISAs of the
+// simulated platform: the x86-64 long-mode format and the AArch64 stage-1
+// (4 KiB granule) descriptor format, each with 5 translation levels as in
+// Stramash-Linux (§6.4).
+//
+// The two formats encode the same logical information — an output frame
+// number plus permissions — with different bit layouts and, notably,
+// opposite write-permission polarity (x86 sets RW to allow writes; Arm sets
+// AP[2] to *forbid* them). The fused-kernel "software remote page table
+// walker" therefore cannot treat a remote table as opaque: it must decode
+// entries in the remote ISA's format and re-encode in its own. That
+// conversion (a "remote CPU driver" accessor function in the paper's terms)
+// is implemented here and exercised heavily by the Stramash page-fault
+// handler.
+package pgtable
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// VirtAddr is a virtual address in a kernel's address space.
+type VirtAddr uint64
+
+// Levels is the number of translation levels (5-level tables, §6.4).
+const Levels = 5
+
+// bitsPerLevel is the number of VA bits resolved per level (512 entries).
+const bitsPerLevel = 9
+
+// EntriesPerTable is the number of entries in one table page.
+const EntriesPerTable = 1 << bitsPerLevel
+
+// index returns the table index of va at level (0 = top/PGD, 4 = leaf/PTE).
+func index(va VirtAddr, level int) int {
+	shift := mem.PageShift + bitsPerLevel*(Levels-1-level)
+	return int(va>>shift) & (EntriesPerTable - 1)
+}
+
+// Perms is the ISA-neutral view of a leaf entry's attributes.
+type Perms struct {
+	Present  bool
+	Write    bool
+	User     bool
+	NoExec   bool
+	Accessed bool
+	Dirty    bool
+}
+
+// Format encodes and decodes entries for one ISA.
+type Format interface {
+	// Name is the ISA name ("x86_64" or "aarch64").
+	Name() string
+	// EncodeLeaf builds a leaf (page) entry mapping pfn with perms.
+	EncodeLeaf(pfn uint64, p Perms) uint64
+	// DecodeLeaf parses a leaf entry; ok is false for non-present entries.
+	DecodeLeaf(e uint64) (pfn uint64, p Perms, ok bool)
+	// EncodeTable builds a next-level table entry pointing at pa.
+	EncodeTable(pa mem.PhysAddr) uint64
+	// DecodeTable parses a table entry; ok is false when not present.
+	DecodeTable(e uint64) (mem.PhysAddr, bool)
+}
+
+// Mem is the memory through which table pages are read and written. Both
+// *mem.Physical (no timing, used at boot) and *hw.Port (cycle-charged, used
+// at runtime so table walks cost real simulated time) satisfy it.
+type Mem interface {
+	Read64(mem.PhysAddr) uint64
+	Write64(mem.PhysAddr, uint64)
+}
+
+// Alloc provides zeroed page-table pages (the kernel's page allocator).
+type Alloc func() (mem.PhysAddr, error)
+
+// Table is one kernel's page table: a root frame interpreted in a format.
+type Table struct {
+	Root mem.PhysAddr
+	Fmt  Format
+}
+
+// New creates an empty table whose root is freshly allocated.
+func New(m Mem, alloc Alloc, fmtr Format) (*Table, error) {
+	root, err := alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pgtable: allocating root: %w", err)
+	}
+	return &Table{Root: root, Fmt: fmtr}, nil
+}
+
+// entryAddrAt returns the physical address of the entry for va at level,
+// descending from the root, optionally allocating missing intermediate
+// tables (alloc != nil). It reports how many intermediate tables were
+// created, which the Stramash fault handler uses to decide whether the
+// origin kernel must handle the fault (§9.2.3).
+func (t *Table) entryAddrAt(m Mem, alloc Alloc, va VirtAddr, level int) (addr mem.PhysAddr, created int, err error) {
+	cur := t.Root
+	for l := 0; l < level; l++ {
+		ea := cur + mem.PhysAddr(index(va, l)*8)
+		e := m.Read64(ea)
+		next, ok := t.Fmt.DecodeTable(e)
+		if !ok {
+			if alloc == nil {
+				return 0, created, fmt.Errorf("pgtable: %s level-%d entry for va %#x not present", t.Fmt.Name(), l, va)
+			}
+			var aerr error
+			next, aerr = alloc()
+			if aerr != nil {
+				return 0, created, fmt.Errorf("pgtable: allocating level-%d table: %w", l+1, aerr)
+			}
+			m.Write64(ea, t.Fmt.EncodeTable(next))
+			created++
+		}
+		cur = next
+	}
+	return cur + mem.PhysAddr(index(va, level)*8), created, nil
+}
+
+// Map installs a leaf mapping va -> pfn with perms, allocating intermediate
+// tables as needed. It returns the number of intermediate tables created.
+func (t *Table) Map(m Mem, alloc Alloc, va VirtAddr, pfn uint64, p Perms) (int, error) {
+	if va&(mem.PageSize-1) != 0 {
+		return 0, fmt.Errorf("pgtable: Map of unaligned va %#x", va)
+	}
+	ea, created, err := t.entryAddrAt(m, alloc, va, Levels-1)
+	if err != nil {
+		return created, err
+	}
+	p.Present = true
+	m.Write64(ea, t.Fmt.EncodeLeaf(pfn, p))
+	return created, nil
+}
+
+// Walk translates va, returning the mapped frame and permissions.
+// ok is false if any level is non-present.
+func (t *Table) Walk(m Mem, va VirtAddr) (pfn uint64, p Perms, ok bool) {
+	ea, _, err := t.entryAddrAt(m, nil, va, Levels-1)
+	if err != nil {
+		return 0, Perms{}, false
+	}
+	return t.Fmt.DecodeLeaf(m.Read64(ea))
+}
+
+// Translate resolves a full virtual address (page + offset) to physical.
+func (t *Table) Translate(m Mem, va VirtAddr) (mem.PhysAddr, bool) {
+	pfn, p, ok := t.Walk(m, va&^VirtAddr(mem.PageSize-1))
+	if !ok || !p.Present {
+		return 0, false
+	}
+	return mem.PhysAddr(pfn<<mem.PageShift) + mem.PhysAddr(va&(mem.PageSize-1)), true
+}
+
+// LeafEntryAddr returns the physical address of va's PTE without allocating,
+// so a remote kernel can read or rewrite the entry in place — the core
+// accessor of the software remote page table walker (§6.4). upperPresent is
+// false when an intermediate table is missing (the PTE slot does not exist).
+func (t *Table) LeafEntryAddr(m Mem, va VirtAddr) (addr mem.PhysAddr, upperPresent bool) {
+	ea, _, err := t.entryAddrAt(m, nil, va, Levels-1)
+	if err != nil {
+		return 0, false
+	}
+	return ea, true
+}
+
+// Unmap clears va's leaf entry, returning whether a mapping existed. Upper
+// levels are left in place (like Linux, which frees them lazily).
+func (t *Table) Unmap(m Mem, va VirtAddr) bool {
+	ea, ok := t.LeafEntryAddr(m, va)
+	if !ok {
+		return false
+	}
+	_, p, present := t.Fmt.DecodeLeaf(m.Read64(ea))
+	_ = p
+	m.Write64(ea, 0)
+	return present
+}
+
+// Protect rewrites va's permissions in place (e.g. write-protect for COW).
+func (t *Table) Protect(m Mem, va VirtAddr, mut func(*Perms)) bool {
+	ea, ok := t.LeafEntryAddr(m, va)
+	if !ok {
+		return false
+	}
+	pfn, p, present := t.Fmt.DecodeLeaf(m.Read64(ea))
+	if !present {
+		return false
+	}
+	mut(&p)
+	m.Write64(ea, t.Fmt.EncodeLeaf(pfn, p))
+	return true
+}
+
+// ConvertLeaf re-encodes a leaf entry from one ISA's format into another's.
+// This is the heart of the Stramash fault handler's "adds it to the origin
+// kernel's page table with the remote node ISA format" step (§6.4).
+func ConvertLeaf(dst, src Format, entry uint64) (uint64, bool) {
+	pfn, p, ok := src.DecodeLeaf(entry)
+	if !ok {
+		return 0, false
+	}
+	return dst.EncodeLeaf(pfn, p), true
+}

@@ -1,0 +1,278 @@
+package pgtable
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// bumpAlloc hands out sequential zeroed frames for table pages.
+type bumpAlloc struct {
+	phys *mem.Physical
+	next mem.PhysAddr
+}
+
+func newBump(phys *mem.Physical, base mem.PhysAddr) *bumpAlloc {
+	return &bumpAlloc{phys: phys, next: base}
+}
+
+func (b *bumpAlloc) alloc() (mem.PhysAddr, error) {
+	a := b.next
+	b.next += mem.PageSize
+	b.phys.ZeroPage(a)
+	return a, nil
+}
+
+func testFormats() []Format { return []Format{X86Format{}, Arm64Format{}} }
+
+func TestMapWalkRoundTrip(t *testing.T) {
+	for _, f := range testFormats() {
+		t.Run(f.Name(), func(t *testing.T) {
+			phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+			ba := newBump(phys, 0x100000)
+			tbl, err := New(phys, ba.alloc, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va := VirtAddr(0x7F00_1234_5000)
+			pfn := uint64(0xABCDE)
+			if _, err := tbl.Map(phys, ba.alloc, va, pfn, Perms{Write: true, User: true}); err != nil {
+				t.Fatal(err)
+			}
+			got, p, ok := tbl.Walk(phys, va)
+			if !ok || got != pfn {
+				t.Fatalf("Walk = %#x,%v want %#x", got, ok, pfn)
+			}
+			if !p.Present || !p.Write || !p.User {
+				t.Errorf("perms = %+v", p)
+			}
+			// Unmapped VA in the same table must fail.
+			if _, _, ok := tbl.Walk(phys, va+mem.PageSize); ok {
+				t.Error("Walk of unmapped VA succeeded")
+			}
+		})
+	}
+}
+
+func TestTranslateOffset(t *testing.T) {
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, X86Format{})
+	va := VirtAddr(0x4000_0000)
+	tbl.Map(phys, ba.alloc, va, 0x123, Perms{Write: true})
+	pa, ok := tbl.Translate(phys, va+0x7FF)
+	if !ok || pa != mem.PhysAddr(0x123<<mem.PageShift)+0x7FF {
+		t.Errorf("Translate = %#x,%v", pa, ok)
+	}
+}
+
+func TestFiveLevelIndices(t *testing.T) {
+	// Two VAs differing only in the top-level index must allocate distinct
+	// level-1 tables: verifies 5 levels are really walked.
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, X86Format{})
+	va1 := VirtAddr(0)
+	va2 := VirtAddr(1) << (12 + 9*4) // differs at PGD level
+	c1, _ := tbl.Map(phys, ba.alloc, va1, 1, Perms{})
+	c2, _ := tbl.Map(phys, ba.alloc, va2, 2, Perms{})
+	if c1 != 4 || c2 != 4 {
+		t.Errorf("intermediate tables created = %d, %d; want 4 each (5-level)", c1, c2)
+	}
+	if pfn, _, _ := tbl.Walk(phys, va1); pfn != 1 {
+		t.Error("va1 lost")
+	}
+	if pfn, _, _ := tbl.Walk(phys, va2); pfn != 2 {
+		t.Error("va2 lost")
+	}
+}
+
+func TestSecondMapSharesUpperLevels(t *testing.T) {
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, Arm64Format{})
+	c1, _ := tbl.Map(phys, ba.alloc, 0x1000, 1, Perms{})
+	c2, _ := tbl.Map(phys, ba.alloc, 0x2000, 2, Perms{})
+	if c1 != 4 {
+		t.Errorf("first map created %d tables, want 4", c1)
+	}
+	if c2 != 0 {
+		t.Errorf("adjacent map created %d tables, want 0", c2)
+	}
+}
+
+func TestUnmapAndProtect(t *testing.T) {
+	for _, f := range testFormats() {
+		t.Run(f.Name(), func(t *testing.T) {
+			phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+			ba := newBump(phys, 0x100000)
+			tbl, _ := New(phys, ba.alloc, f)
+			va := VirtAddr(0x5000)
+			tbl.Map(phys, ba.alloc, va, 7, Perms{Write: true})
+
+			if !tbl.Protect(phys, va, func(p *Perms) { p.Write = false }) {
+				t.Fatal("Protect failed")
+			}
+			_, p, _ := tbl.Walk(phys, va)
+			if p.Write {
+				t.Error("write-protect did not stick")
+			}
+
+			if !tbl.Unmap(phys, va) {
+				t.Error("Unmap of mapped VA returned false")
+			}
+			if _, _, ok := tbl.Walk(phys, va); ok {
+				t.Error("Walk succeeded after Unmap")
+			}
+			if tbl.Unmap(phys, va) {
+				t.Error("double Unmap returned true")
+			}
+		})
+	}
+}
+
+func TestLeafEntryAddrRemoteRewrite(t *testing.T) {
+	// Simulates the remote walker: rewrite another table's PTE in place.
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, X86Format{})
+	va := VirtAddr(0x9000)
+	tbl.Map(phys, ba.alloc, va, 0x42, Perms{Write: false})
+
+	ea, ok := tbl.LeafEntryAddr(phys, va)
+	if !ok {
+		t.Fatal("LeafEntryAddr failed")
+	}
+	// A remote kernel flips the frame via raw entry rewrite.
+	phys.Write64(ea, X86Format{}.EncodeLeaf(0x99, Perms{Present: true, Write: true}))
+	pfn, p, _ := tbl.Walk(phys, va)
+	if pfn != 0x99 || !p.Write {
+		t.Errorf("in-place rewrite not observed: pfn=%#x perms=%+v", pfn, p)
+	}
+
+	// Missing upper levels are reported, not allocated.
+	if _, ok := tbl.LeafEntryAddr(phys, VirtAddr(1)<<40); ok {
+		t.Error("LeafEntryAddr fabricated upper levels")
+	}
+}
+
+func TestPermPolarityDiffersAcrossISAs(t *testing.T) {
+	// The same logical permission produces structurally different bits:
+	// x86 sets a bit to ALLOW writes, arm sets a bit to FORBID them.
+	p := Perms{Present: true, Write: true}
+	x := X86Format{}.EncodeLeaf(0x1, p)
+	a := Arm64Format{}.EncodeLeaf(0x1, p)
+	if x&x86RW == 0 {
+		t.Error("x86 writable entry missing RW bit")
+	}
+	if a&armAPRO != 0 {
+		t.Error("arm writable entry has read-only bit set")
+	}
+	p.Write = false
+	x = X86Format{}.EncodeLeaf(0x1, p)
+	a = Arm64Format{}.EncodeLeaf(0x1, p)
+	if x&x86RW != 0 {
+		t.Error("x86 read-only entry has RW set")
+	}
+	if a&armAPRO == 0 {
+		t.Error("arm read-only entry missing AP[2]")
+	}
+}
+
+func TestConvertLeafCrossISA(t *testing.T) {
+	src := X86Format{}
+	dst := Arm64Format{}
+	e := src.EncodeLeaf(0xCAFE, Perms{Present: true, Write: true, User: true, Dirty: true})
+	conv, ok := ConvertLeaf(dst, src, e)
+	if !ok {
+		t.Fatal("ConvertLeaf failed")
+	}
+	pfn, p, ok := dst.DecodeLeaf(conv)
+	if !ok || pfn != 0xCAFE {
+		t.Fatalf("converted pfn = %#x", pfn)
+	}
+	if !p.Write || !p.User || !p.Dirty {
+		t.Errorf("converted perms = %+v", p)
+	}
+	if _, ok := ConvertLeaf(dst, src, 0); ok {
+		t.Error("ConvertLeaf of non-present entry succeeded")
+	}
+}
+
+func TestConvertRoundTripProperty(t *testing.T) {
+	x86, arm := X86Format{}, Arm64Format{}
+	f := func(pfnRaw uint32, write, user, noexec, acc, dirty bool) bool {
+		pfn := uint64(pfnRaw)
+		p := Perms{Present: true, Write: write, User: user, NoExec: noexec, Accessed: acc, Dirty: dirty}
+		// x86 -> arm -> x86 must be the identity on (pfn, perms).
+		e := x86.EncodeLeaf(pfn, p)
+		a, ok1 := ConvertLeaf(arm, x86, e)
+		back, ok2 := ConvertLeaf(x86, arm, a)
+		if !ok1 || !ok2 {
+			return false
+		}
+		pfn2, p2, ok := x86.DecodeLeaf(back)
+		return ok && pfn2 == pfn && p2 == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkRoundTripProperty(t *testing.T) {
+	for _, f := range testFormats() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+			ba := newBump(phys, 0x100000)
+			tbl, _ := New(phys, ba.alloc, f)
+			prop := func(vaRaw uint64, pfnRaw uint32, write bool) bool {
+				// Constrain to the canonical 57-bit space, page aligned.
+				va := VirtAddr(vaRaw % (1 << 57) &^ (mem.PageSize - 1))
+				pfn := uint64(pfnRaw)
+				if _, err := tbl.Map(phys, ba.alloc, va, pfn, Perms{Write: write}); err != nil {
+					return false
+				}
+				got, p, ok := tbl.Walk(phys, va)
+				return ok && got == pfn && p.Write == write
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestMapUnalignedRejected(t *testing.T) {
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, X86Format{})
+	if _, err := tbl.Map(phys, ba.alloc, 0x1001, 1, Perms{}); err == nil {
+		t.Error("unaligned Map accepted")
+	}
+}
+
+func TestAllocFailurePropagates(t *testing.T) {
+	phys := mem.NewPhysical(mem.DefaultLayout(mem.FullyShared))
+	failing := func() (mem.PhysAddr, error) { return 0, fmt.Errorf("out of memory") }
+	if _, err := New(phys, failing, X86Format{}); err == nil {
+		t.Error("New with failing allocator succeeded")
+	}
+	ba := newBump(phys, 0x100000)
+	tbl, _ := New(phys, ba.alloc, X86Format{})
+	if _, err := tbl.Map(phys, failing, 0x1000, 1, Perms{}); err == nil {
+		t.Error("Map with failing allocator succeeded")
+	}
+}
+
+func TestIndexExtraction(t *testing.T) {
+	// va = PGD idx 1, P4D idx 2, PUD idx 3, PMD idx 4, PTE idx 5.
+	va := VirtAddr(1)<<(12+9*4) | VirtAddr(2)<<(12+9*3) | VirtAddr(3)<<(12+9*2) | VirtAddr(4)<<(12+9) | VirtAddr(5)<<12
+	for l, want := range []int{1, 2, 3, 4, 5} {
+		if got := index(va, l); got != want {
+			t.Errorf("index(level %d) = %d, want %d", l, got, want)
+		}
+	}
+}

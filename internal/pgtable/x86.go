@@ -1,0 +1,86 @@
+package pgtable
+
+import "repro/internal/mem"
+
+// X86Format is the x86-64 long-mode page-table entry layout.
+//
+// Leaf (PTE) bits used:
+//
+//	bit  0  P    present
+//	bit  1  RW   writeable
+//	bit  2  US   user-accessible
+//	bit  5  A    accessed
+//	bit  6  D    dirty
+//	bits 12..51  page frame number
+//	bit 63  NX   no-execute
+//
+// Table entries use P|RW|US plus the next table's physical address.
+type X86Format struct{}
+
+const (
+	x86P  = 1 << 0
+	x86RW = 1 << 1
+	x86US = 1 << 2
+	x86A  = 1 << 5
+	x86D  = 1 << 6
+	x86NX = 1 << 63
+
+	x86AddrMask = 0x000FFFFFFFFFF000
+)
+
+// Name implements Format.
+func (X86Format) Name() string { return "x86_64" }
+
+// EncodeLeaf implements Format.
+func (X86Format) EncodeLeaf(pfn uint64, p Perms) uint64 {
+	var e uint64
+	if p.Present {
+		e |= x86P
+	}
+	if p.Write {
+		e |= x86RW
+	}
+	if p.User {
+		e |= x86US
+	}
+	if p.Accessed {
+		e |= x86A
+	}
+	if p.Dirty {
+		e |= x86D
+	}
+	if p.NoExec {
+		e |= x86NX
+	}
+	e |= (pfn << mem.PageShift) & x86AddrMask
+	return e
+}
+
+// DecodeLeaf implements Format.
+func (X86Format) DecodeLeaf(e uint64) (uint64, Perms, bool) {
+	if e&x86P == 0 {
+		return 0, Perms{}, false
+	}
+	p := Perms{
+		Present:  true,
+		Write:    e&x86RW != 0,
+		User:     e&x86US != 0,
+		Accessed: e&x86A != 0,
+		Dirty:    e&x86D != 0,
+		NoExec:   e&x86NX != 0,
+	}
+	return (e & x86AddrMask) >> mem.PageShift, p, true
+}
+
+// EncodeTable implements Format.
+func (X86Format) EncodeTable(pa mem.PhysAddr) uint64 {
+	return uint64(pa)&x86AddrMask | x86P | x86RW | x86US
+}
+
+// DecodeTable implements Format.
+func (X86Format) DecodeTable(e uint64) (mem.PhysAddr, bool) {
+	if e&x86P == 0 {
+		return 0, false
+	}
+	return mem.PhysAddr(e & x86AddrMask), true
+}

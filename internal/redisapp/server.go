@@ -1,0 +1,332 @@
+package redisapp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// Command codes of the RESP-lite wire protocol. One request is:
+//
+//	cmd(1) | keyLen(4) | valLen(4) | key... | val...
+//
+// and one response is: status(1) | len(4) | payload...
+type Command byte
+
+// The eight commands of Figure 14.
+const (
+	CmdGet Command = iota + 1
+	CmdSet
+	CmdLPush
+	CmdRPush
+	CmdLPop
+	CmdRPop
+	CmdSAdd
+	CmdMSet
+)
+
+// CommandNames lists the benchmark commands in the paper's order.
+var CommandNames = []string{"get", "set", "lpush", "rpush", "lpop", "rpop", "sadd", "mset"}
+
+// ParseCommand maps a name to its code.
+func ParseCommand(name string) (Command, error) {
+	for i, n := range CommandNames {
+		if n == name {
+			return Command(i + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("redisapp: unknown command %q", name)
+}
+
+func (c Command) String() string {
+	if int(c) >= 1 && int(c) <= len(CommandNames) {
+		return CommandNames[c-1]
+	}
+	return fmt.Sprintf("cmd(%d)", byte(c))
+}
+
+// ring geometry: slot 0 holds head (producer index) at +0 and tail
+// (consumer index) at +64; request slots follow.
+const (
+	ringCtl      = 128
+	slotSize     = 1536
+	ringSlots    = 32
+	reqHdr       = 9
+	maxRRPayload = slotSize - reqHdr - 64
+)
+
+// BenchParams configures a Figure 14 run.
+type BenchParams struct {
+	Command  Command
+	Requests int
+	// PayloadBytes is the value size (the paper uses 1024).
+	PayloadBytes int
+	// Keys is the keyspace size requests cycle through.
+	Keys int
+}
+
+// DefaultBenchParams returns a scaled §9.2.8 configuration.
+func DefaultBenchParams(cmd Command) BenchParams {
+	return BenchParams{Command: cmd, Requests: 300, PayloadBytes: 1024, Keys: 64}
+}
+
+// BenchResult is one Figure 14 measurement.
+type BenchResult struct {
+	Command          Command
+	Requests         int
+	ServerCycles     sim.Cycles
+	CyclesPerRequest float64
+	Errors           int
+}
+
+// keyFor builds the deterministic key for request i.
+func keyFor(p BenchParams, i int) []byte {
+	return []byte(fmt.Sprintf("key:%06d", i%p.Keys))
+}
+
+// valFor builds the deterministic payload for request i.
+func valFor(p BenchParams, i int) []byte {
+	v := make([]byte, p.PayloadBytes)
+	for j := range v {
+		v[j] = byte((i*131 + j*31) % 251)
+	}
+	return v
+}
+
+// Run executes the benchmark on machine m: the server populates its store
+// at the origin, migrates to the other ISA (its time_event handler runs
+// there, §9.2.8), and then serves p.Requests requests that a NIC-side
+// task deposits into origin-memory RX buffers.
+func Run(m *machine.Machine, p BenchParams) (BenchResult, error) {
+	if p.Requests == 0 {
+		p = DefaultBenchParams(p.Command)
+	}
+	if p.PayloadBytes > maxRRPayload {
+		return BenchResult{}, fmt.Errorf("redisapp: payload %d exceeds slot capacity %d", p.PayloadBytes, maxRRPayload)
+	}
+	res := BenchResult{Command: p.Command, Requests: p.Requests}
+
+	var ringBase pgtable.VirtAddr
+	ready := false
+
+	serverBody := func(t *kernel.Task) error {
+		// The RX ring lives in origin memory (the NIC DMAs into it).
+		rb, err := t.Proc.MmapAligned(ringCtl+ringSlots*slotSize, 2<<20, kernel.VMARead|kernel.VMAWrite, "redis.rx")
+		if err != nil {
+			return err
+		}
+		if err := t.Store(rb, 8, 0); err != nil { // head
+			return err
+		}
+		if err := t.Store(rb+64, 8, 0); err != nil { // tail
+			return err
+		}
+		arena, err := NewArena(t, 48<<20, "redis.heap")
+		if err != nil {
+			return err
+		}
+		store, err := NewStore(t, arena, 256)
+		if err != nil {
+			return err
+		}
+		// Pre-populate so GET/LPOP/RPOP have data (the redis-benchmark
+		// setup phase).
+		for i := 0; i < p.Keys; i++ {
+			key := keyFor(p, i)
+			if err := store.Set(t, key, valFor(p, i)); err != nil {
+				return err
+			}
+			if p.Command == CmdLPop || p.Command == CmdRPop {
+				lkey := append([]byte("l:"), key...)
+				need := (p.Requests + p.Keys - 1) / p.Keys
+				for j := 0; j < need+1; j++ {
+					if err := store.Push(t, lkey, valFor(p, i), false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		ringBase = rb
+		ready = true
+
+		// time_event: migrate to the remote ISA and serve from there.
+		if err := t.Migrate(mem.NodeArm); err != nil {
+			return err
+		}
+		t.BeginTimed()
+		served := 0
+		for served < p.Requests {
+			head, err := t.Load(rb, 8)
+			if err != nil {
+				return err
+			}
+			tail, err := t.Load(rb+64, 8)
+			if err != nil {
+				return err
+			}
+			if head == tail {
+				t.Th.Advance(400) // poll interval
+				t.Th.YieldPoint()
+				continue
+			}
+			slot := rb + ringCtl + pgtable.VirtAddr(int(tail%ringSlots)*slotSize)
+			hdr, err := t.ReadBytes(slot, reqHdr)
+			if err != nil {
+				return err
+			}
+			cmd := Command(hdr[0])
+			klen := int(binary.LittleEndian.Uint32(hdr[1:5]))
+			vlen := int(binary.LittleEndian.Uint32(hdr[5:9]))
+			key, err := t.ReadBytes(slot+reqHdr, klen)
+			if err != nil {
+				return err
+			}
+			var val []byte
+			if vlen > 0 {
+				val, err = t.ReadBytes(slot+reqHdr+pgtable.VirtAddr(klen), vlen)
+				if err != nil {
+					return err
+				}
+			}
+			// Protocol parsing cost (RESP decode is byte-at-a-time work).
+			t.Compute(int64(20 + (klen+vlen)/8))
+
+			if err := execute(t, store, cmd, key, val, &res); err != nil {
+				return err
+			}
+			if err := t.Store(rb+64, 8, tail+1); err != nil {
+				return err
+			}
+			served++
+		}
+		res.ServerCycles = t.TimedCycles()
+		res.CyclesPerRequest = float64(res.ServerCycles) / float64(p.Requests)
+		return nil
+	}
+
+	nicBody := func(t *kernel.Task) error {
+		for !ready {
+			t.Th.Advance(2000)
+		}
+		rb := ringBase
+		for i := 0; i < p.Requests; i++ {
+			// Flow control: wait for a free slot.
+			for {
+				head, err := t.Load(rb, 8)
+				if err != nil {
+					return err
+				}
+				tail, err := t.Load(rb+64, 8)
+				if err != nil {
+					return err
+				}
+				if head-tail < ringSlots {
+					break
+				}
+				t.Th.Advance(600)
+				t.Th.YieldPoint()
+			}
+			head, err := t.Load(rb, 8)
+			if err != nil {
+				return err
+			}
+			key := keyFor(p, i)
+			var val []byte
+			switch p.Command {
+			case CmdGet, CmdLPop, CmdRPop:
+			default:
+				val = valFor(p, i)
+			}
+			slot := rb + ringCtl + pgtable.VirtAddr(int(head%ringSlots)*slotSize)
+			hdr := make([]byte, reqHdr)
+			hdr[0] = byte(p.Command)
+			binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+			binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(val)))
+			if err := t.WriteBytes(slot, hdr); err != nil {
+				return err
+			}
+			if err := t.WriteBytes(slot+reqHdr, key); err != nil {
+				return err
+			}
+			if len(val) > 0 {
+				if err := t.WriteBytes(slot+reqHdr+pgtable.VirtAddr(len(key)), val); err != nil {
+					return err
+				}
+			}
+			if err := t.Store(rb, 8, head+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	results, err := m.RunTasks(
+		machine.TaskSpec{Name: "redis-server", Origin: mem.NodeX86, ProcKey: "redis", KeepAlive: true, Body: serverBody},
+		machine.TaskSpec{Name: "nic", Origin: mem.NodeX86, ProcKey: "redis", KeepAlive: true, Start: 500, Body: nicBody},
+	)
+	if err != nil {
+		return res, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return res, r.Err
+		}
+	}
+	return res, nil
+}
+
+// execute runs one command against the store, verifying results where the
+// command returns data.
+func execute(t *kernel.Task, store *Store, cmd Command, key, val []byte, res *BenchResult) error {
+	switch cmd {
+	case CmdGet:
+		got, err := store.Get(t, key)
+		if err != nil {
+			return err
+		}
+		if got == nil {
+			res.Errors++
+		}
+	case CmdSet:
+		return store.Set(t, key, val)
+	case CmdLPush:
+		return store.Push(t, append([]byte("l:"), key...), val, true)
+	case CmdRPush:
+		return store.Push(t, append([]byte("l:"), key...), val, false)
+	case CmdLPop:
+		got, err := store.Pop(t, append([]byte("l:"), key...), true)
+		if err != nil {
+			return err
+		}
+		if got == nil {
+			res.Errors++
+		}
+	case CmdRPop:
+		got, err := store.Pop(t, append([]byte("l:"), key...), false)
+		if err != nil {
+			return err
+		}
+		if got == nil {
+			res.Errors++
+		}
+	case CmdSAdd:
+		_, err := store.SAdd(t, append([]byte("s:"), key...), val[:32])
+		return err
+	case CmdMSet:
+		// MSET writes several keys in one request.
+		for j := 0; j < 4; j++ {
+			k := append([]byte(fmt.Sprintf("m%d:", j)), key...)
+			if err := store.Set(t, k, val); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("redisapp: bad command %d", cmd)
+	}
+	return nil
+}

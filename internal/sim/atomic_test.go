@@ -1,0 +1,138 @@
+package sim
+
+import "testing"
+
+func TestAtomicSectionSuppressesQuantumYield(t *testing.T) {
+	e := NewEngine()
+	e.Quantum = 10
+	var order []string
+	e.Spawn("a", 0, func(th *Thread) {
+		th.BeginAtomic()
+		// Way past the quantum, but no other thread may interleave.
+		for i := 0; i < 10; i++ {
+			th.Advance(100)
+			order = append(order, "a")
+		}
+		th.EndAtomic()
+	})
+	e.Spawn("b", 0, func(th *Thread) {
+		th.Advance(1)
+		order = append(order, "b")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// "a" spawned first (same start time, lower ID) and holds the token
+	// through its atomic section: all ten of its entries must be
+	// contiguous.
+	first := -1
+	last := -1
+	for i, s := range order {
+		if s == "a" {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if last-first != 9 {
+		t.Errorf("atomic section interleaved: %v", order)
+	}
+}
+
+func TestAtomicSectionYieldsAfterEnd(t *testing.T) {
+	e := NewEngine()
+	e.Quantum = 10
+	var bRan bool
+	e.Spawn("a", 0, func(th *Thread) {
+		th.BeginAtomic()
+		th.Advance(1000)
+		th.EndAtomic() // quantum exceeded: must yield here
+		if !bRan {
+			t.Error("EndAtomic did not yield to the lower-clock thread")
+		}
+	})
+	e.Spawn("b", 0, func(th *Thread) {
+		th.Advance(1)
+		bRan = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicSectionsNest(t *testing.T) {
+	e := NewEngine()
+	e.Quantum = 1
+	e.Spawn("a", 0, func(th *Thread) {
+		th.BeginAtomic()
+		th.BeginAtomic()
+		th.Advance(100)
+		th.EndAtomic()
+		th.Advance(100) // still atomic (depth 1)
+		th.EndAtomic()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndAtomicWithoutBeginPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", 0, func(th *Thread) {
+		th.EndAtomic()
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("unbalanced EndAtomic must surface as an error")
+	}
+}
+
+func TestYieldPointInsideAtomicIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Quantum = 1
+	var interleaved bool
+	aDone := false
+	e.Spawn("a", 0, func(th *Thread) {
+		th.BeginAtomic()
+		th.Advance(50)
+		th.YieldPoint() // must not yield
+		if interleaved {
+			t.Error("YieldPoint yielded inside an atomic section")
+		}
+		th.EndAtomic()
+		aDone = true
+	})
+	e.Spawn("b", 0, func(th *Thread) {
+		th.Advance(1)
+		if !aDone {
+			interleaved = true
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeBeatsSleep(t *testing.T) {
+	// A Wake landing while the target is runnable is consumed by the
+	// target's next Block (futex wake-beats-sleep semantics).
+	e := NewEngine()
+	var target *Thread
+	completed := false
+	target = e.Spawn("target", 0, func(th *Thread) {
+		th.Advance(100)
+		// Wake already arrived (below): Block returns immediately.
+		th.Block("should-not-park")
+		completed = true
+	})
+	e.Spawn("waker", 0, func(th *Thread) {
+		th.Advance(1)
+		e.Wake(target, 10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("deadlock means the wake was lost: %v", err)
+	}
+	if !completed {
+		t.Fatal("target never completed")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to fire at a simulated time. Events are used
+// for decoupled timers (e.g. the Redis server's time_event) rather than for
+// thread scheduling, which the engine handles through thread clocks.
+type Event struct {
+	At Cycles
+	Fn func()
+
+	seq   int64 // tie-break for determinism
+	index int   // heap bookkeeping
+}
+
+// EventQueue is a deterministic min-heap of events ordered by time, then by
+// insertion order.
+type EventQueue struct {
+	h    eventHeap
+	seqs int64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Schedule adds an event firing fn at time at and returns it (so callers can
+// inspect or compare). Events at the same time fire in insertion order.
+func (q *EventQueue) Schedule(at Cycles, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seqs}
+	q.seqs++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// PeekTime returns the time of the earliest pending event. The boolean is
+// false when the queue is empty.
+func (q *EventQueue) PeekTime() (Cycles, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// RunDue pops and runs every event with At <= now, in timestamp order.
+// It returns the number of events fired.
+func (q *EventQueue) RunDue(now Cycles) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].At <= now {
+		e := heap.Pop(&q.h).(*Event)
+		e.Fn()
+		n++
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,336 @@
+// Package sim provides the deterministic discrete-event simulation core on
+// which the whole Stramash reproduction runs.
+//
+// The engine models simulated time in CPU cycles. Every simulated thread of
+// execution owns a local clock that advances as the thread consumes cycles
+// (instructions, cache hits and misses, message latencies). The engine
+// co-schedules threads conservatively: the runnable thread with the smallest
+// local clock always runs next, so the interleaving of cross-thread
+// interactions (atomics, IPIs, futex wake-ups) is a deterministic function of
+// the simulated timeline, never of host goroutine scheduling.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cycles is a duration or point in simulated time, measured in CPU cycles of
+// the node the thread runs on. Cycle counts from nodes with different clock
+// rates are comparable only after conversion through a Clock.
+type Cycles int64
+
+// Clock converts between cycles and wall time for one node's frequency.
+type Clock struct {
+	// Hz is the node frequency in cycles per second.
+	Hz int64
+}
+
+// Nanos returns the wall-clock nanoseconds corresponding to c cycles.
+func (k Clock) Nanos(c Cycles) int64 {
+	return int64(float64(c) / float64(k.Hz) * 1e9)
+}
+
+// Micros returns the wall-clock microseconds corresponding to c cycles.
+func (k Clock) Micros(c Cycles) float64 {
+	return float64(c) / float64(k.Hz) * 1e6
+}
+
+// Millis returns the wall-clock milliseconds corresponding to c cycles.
+func (k Clock) Millis(c Cycles) float64 {
+	return float64(c) / float64(k.Hz) * 1e3
+}
+
+// FromMicros returns the cycle count corresponding to us microseconds.
+func (k Clock) FromMicros(us float64) Cycles {
+	return Cycles(us * float64(k.Hz) / 1e6)
+}
+
+// FromNanos returns the cycle count corresponding to ns nanoseconds.
+func (k Clock) FromNanos(ns float64) Cycles {
+	return Cycles(ns * float64(k.Hz) / 1e9)
+}
+
+// ThreadID identifies a simulated thread within an Engine.
+type ThreadID int
+
+// threadState is the lifecycle state of a simulated thread.
+type threadState int
+
+const (
+	stateRunnable threadState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return fmt.Sprintf("threadState(%d)", int(s))
+}
+
+// Thread is a simulated thread of execution. The body function runs on its
+// own goroutine but only while the engine has granted it the (single)
+// execution token, so at most one simulated thread executes at a time and
+// the simulation stays deterministic.
+type Thread struct {
+	ID   ThreadID
+	Name string
+
+	eng   *Engine
+	state threadState
+	now   Cycles // local clock
+	// quantum counts cycles consumed since the thread last yielded; when it
+	// exceeds the engine quantum the thread voluntarily yields so that other
+	// threads with smaller clocks can catch up.
+	sinceYield Cycles
+
+	resume chan struct{} // engine -> thread: you may run
+	yield  chan struct{} // thread -> engine: I stopped running
+
+	// atomicDepth suppresses scheduler yields while > 0 (BeginAtomic).
+	atomicDepth int
+
+	// wakePending records a Wake that arrived while the thread was not
+	// blocked (e.g. between a futex enqueue and the Block call). The next
+	// Block consumes it and returns immediately — the classic "wake beats
+	// sleep" race resolved the way real futexes do, by allowing spurious
+	// wake-ups that callers' retry loops absorb.
+	wakePending bool
+
+	blockReason string
+	err         error
+}
+
+// Now returns the thread's local simulated time.
+func (t *Thread) Now() Cycles { return t.now }
+
+// Advance consumes d cycles of simulated time on this thread. If the thread
+// has consumed more than the engine quantum since it last yielded, it hands
+// control back to the scheduler so lower-clocked threads can run — unless
+// the thread is inside an atomic section.
+func (t *Thread) Advance(d Cycles) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: thread %q advanced by negative duration %d", t.Name, d))
+	}
+	t.now += d
+	t.sinceYield += d
+	if t.sinceYield >= t.eng.Quantum && t.atomicDepth == 0 {
+		t.YieldPoint()
+	}
+}
+
+// BeginAtomic enters a section during which the thread will not yield to
+// the scheduler: used to model operations that are indivisible on real
+// hardware, such as a store together with the permission check that
+// preceded it (a PTE downgrade cannot slide between the two, because TLB
+// shootdowns complete before the downgrade proceeds). Sections nest.
+func (t *Thread) BeginAtomic() { t.atomicDepth++ }
+
+// EndAtomic leaves an atomic section, yielding if the quantum expired
+// meanwhile.
+func (t *Thread) EndAtomic() {
+	if t.atomicDepth == 0 {
+		panic(fmt.Sprintf("sim: thread %q EndAtomic without BeginAtomic", t.Name))
+	}
+	t.atomicDepth--
+	if t.atomicDepth == 0 && t.sinceYield >= t.eng.Quantum {
+		t.YieldPoint()
+	}
+}
+
+// AdvanceTo moves the thread's local clock forward to at least when. It is a
+// no-op if the clock is already past when. Used when an interaction with
+// another thread (a message, a wake-up) imposes a happens-before edge.
+func (t *Thread) AdvanceTo(when Cycles) {
+	if when > t.now {
+		t.Advance(when - t.now)
+	}
+}
+
+// YieldPoint is an explicit scheduling point: the thread offers the engine a
+// chance to run another thread whose clock is behind. Simulated code must
+// call this (directly or via Advance) around synchronization operations so
+// that cross-thread orderings follow simulated time. Inside an atomic
+// section it is a no-op.
+func (t *Thread) YieldPoint() {
+	if t.atomicDepth > 0 {
+		return
+	}
+	t.sinceYield = 0
+	t.state = stateRunnable
+	t.yield <- struct{}{}
+	<-t.resume
+	t.state = stateRunning
+}
+
+// Block parks the thread until another thread calls Engine.Wake. If a Wake
+// already arrived since the thread last ran (wake-beats-sleep), Block
+// returns immediately. The reason string is reported by deadlock
+// diagnostics.
+func (t *Thread) Block(reason string) {
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.blockReason = reason
+	t.sinceYield = 0
+	t.state = stateBlocked
+	t.yield <- struct{}{}
+	<-t.resume
+	t.state = stateRunning
+	t.blockReason = ""
+}
+
+// Engine owns a set of simulated threads and runs them deterministically.
+type Engine struct {
+	// Quantum is the maximum number of cycles a thread may consume before the
+	// scheduler re-evaluates which thread has the smallest clock. Smaller
+	// quanta interleave more finely (and run slower). The default suits
+	// workloads that synchronize through explicit YieldPoints.
+	Quantum Cycles
+
+	threads []*Thread
+	running bool
+}
+
+// NewEngine returns an engine with the default scheduling quantum.
+func NewEngine() *Engine {
+	return &Engine{Quantum: 20000}
+}
+
+// Spawn creates a new simulated thread executing body. The thread's local
+// clock starts at start cycles (usually the spawner's current time). Spawn
+// may be called before Run or from inside a running thread.
+func (e *Engine) Spawn(name string, start Cycles, body func(t *Thread)) *Thread {
+	t := &Thread{
+		ID:     ThreadID(len(e.threads)),
+		Name:   name,
+		eng:    e,
+		state:  stateRunnable,
+		now:    start,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.threads = append(e.threads, t)
+	go func() {
+		<-t.resume
+		t.state = stateRunning
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = fmt.Errorf("sim: thread %q panicked: %v", t.Name, r)
+			}
+			t.state = stateDone
+			t.yield <- struct{}{}
+		}()
+		body(t)
+	}()
+	return t
+}
+
+// Wake marks a blocked thread runnable, advancing its clock to at least when
+// (the simulated time at which the wake-up reaches it). Waking a thread that
+// is not blocked leaves a pending wake that the thread's next Block consumes
+// immediately — so a wake can never be lost between a waiter's enqueue and
+// its sleep, exactly like the kernel futex path.
+func (e *Engine) Wake(t *Thread, when Cycles) {
+	if t.now < when {
+		t.now = when
+	}
+	if t.state == stateBlocked {
+		t.state = stateRunnable
+	} else if t.state != stateDone {
+		t.wakePending = true
+	}
+}
+
+// Run drives the simulation until every thread has finished. It returns the
+// first error produced by a panicking thread, or a deadlock error if all
+// remaining threads are blocked.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		next := e.pickNext()
+		if next == nil {
+			if e.allDone() {
+				return e.firstErr()
+			}
+			return e.deadlockErr()
+		}
+		next.resume <- struct{}{}
+		<-next.yield
+		if next.err != nil {
+			return next.err
+		}
+	}
+}
+
+// pickNext returns the runnable thread with the smallest local clock,
+// breaking ties by thread ID for determinism.
+func (e *Engine) pickNext() *Thread {
+	var best *Thread
+	for _, t := range e.threads {
+		if t.state != stateRunnable {
+			continue
+		}
+		if best == nil || t.now < best.now || (t.now == best.now && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) allDone() bool {
+	for _, t := range e.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) firstErr() error {
+	for _, t := range e.threads {
+		if t.err != nil {
+			return t.err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) deadlockErr() error {
+	var stuck []string
+	for _, t := range e.threads {
+		if t.state == stateBlocked {
+			stuck = append(stuck, fmt.Sprintf("%s(%s)", t.Name, t.blockReason))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock, blocked threads: %v", stuck)
+}
+
+// MaxTime returns the largest local clock across all threads; with the
+// engine idle this is the simulation's end time.
+func (e *Engine) MaxTime() Cycles {
+	var m Cycles
+	for _, t := range e.threads {
+		if t.now > m {
+			m = t.now
+		}
+	}
+	return m
+}

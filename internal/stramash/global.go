@@ -1,0 +1,263 @@
+package stramash
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// GlobalConfig parameterizes the global memory allocator (§6.3).
+type GlobalConfig struct {
+	// BlockSize is the slice granularity; the paper's allocator supports
+	// 32 MB to 4 GB and the Table 4 experiment uses 256 MB slices.
+	BlockSize uint64
+	// PressureThreshold triggers a block request when used/total passes it.
+	PressureThreshold float64
+	// OfflinePerPage / OnlinePerPage are the per-page bookkeeping costs of
+	// the hot-remove (evacuate + isolate) and hot-add paths, per node.
+	// Calibrated so the Table 4 magnitudes land in the paper's ballpark
+	// (x86 offline ≈ 235 ns/page, online ≈ 65 ns/page on Qemu-x86).
+	OfflinePerPage [2]sim.Cycles
+	OnlinePerPage  [2]sim.Cycles
+}
+
+// DefaultGlobalConfig returns the evaluation configuration.
+func DefaultGlobalConfig() GlobalConfig {
+	return GlobalConfig{
+		BlockSize:         256 << 20,
+		PressureThreshold: 0.70,
+		OfflinePerPage:    [2]sim.Cycles{420, 110},
+		OnlinePerPage:     [2]sim.Cycles{100, 130},
+	}
+}
+
+// Block is one hot-pluggable memory slice.
+type Block struct {
+	Start mem.PhysAddr
+	Size  uint64
+	// Owner is the kernel currently holding the block, or mem.NodeNone.
+	Owner mem.NodeID
+}
+
+// GlobalAllocator manages the pool of shared memory blocks handed to
+// kernel instances on demand and reclaimed under pressure (§6.3). It
+// extends the memory hot-plug idea: hot-remove evacuates a block and then
+// isolates its pages rather than requiring an unplug.
+type GlobalAllocator struct {
+	Ctx *kernel.Context
+	Cfg GlobalConfig
+
+	blocks []*Block
+	// frameUse lets eviction find and rewrite the mapping of a movable
+	// user frame. The OS registers frames as it maps them.
+	frameUse map[mem.PhysAddr]frameUse
+}
+
+type frameUse struct {
+	proc *kernel.Process
+	va   pgtable.VirtAddr
+}
+
+// NewGlobalAllocator builds the allocator and carves the layout's shared
+// (unowned) regions into blocks. Machines without a shared pool start with
+// no blocks; AddPool can donate ranges explicitly.
+func NewGlobalAllocator(ctx *kernel.Context, cfg GlobalConfig) *GlobalAllocator {
+	g := &GlobalAllocator{Ctx: ctx, Cfg: cfg, frameUse: make(map[mem.PhysAddr]frameUse)}
+	for _, r := range ctx.Plat.Layout().SharedRegions() {
+		g.AddPool(r.Start, r.Size)
+	}
+	return g
+}
+
+// AddPool carves [start, start+size) into BlockSize blocks owned by nobody.
+func (g *GlobalAllocator) AddPool(start mem.PhysAddr, size uint64) {
+	for off := uint64(0); off+g.Cfg.BlockSize <= size; off += g.Cfg.BlockSize {
+		g.blocks = append(g.blocks, &Block{
+			Start: start + mem.PhysAddr(off),
+			Size:  g.Cfg.BlockSize,
+			Owner: mem.NodeNone,
+		})
+	}
+	sort.Slice(g.blocks, func(i, j int) bool { return g.blocks[i].Start < g.blocks[j].Start })
+}
+
+// BlockAt returns the i-th block for direct online/offline control (the
+// Table 4 experiment drives slices explicitly).
+func (g *GlobalAllocator) BlockAt(i int) *Block { return g.blocks[i] }
+
+// Blocks returns a snapshot of the block table.
+func (g *GlobalAllocator) Blocks() []Block {
+	out := make([]Block, len(g.blocks))
+	for i, b := range g.blocks {
+		out[i] = *b
+	}
+	return out
+}
+
+// FreeBlocks counts unassigned blocks.
+func (g *GlobalAllocator) FreeBlocks() int {
+	n := 0
+	for _, b := range g.blocks {
+		if b.Owner == mem.NodeNone {
+			n++
+		}
+	}
+	return n
+}
+
+// RegisterFrame records that frame backs (proc, va); eviction uses this to
+// move the page. Unregistered frames pin their block.
+func (g *GlobalAllocator) RegisterFrame(frame mem.PhysAddr, proc *kernel.Process, va pgtable.VirtAddr) {
+	g.frameUse[frame] = frameUse{proc: proc, va: va}
+}
+
+// UnregisterFrame removes the record.
+func (g *GlobalAllocator) UnregisterFrame(frame mem.PhysAddr) {
+	delete(g.frameUse, frame)
+}
+
+// Online hands a block to node's kernel: the range is added to its buddy
+// and every page's struct-page is initialized (the per-page cost that
+// Table 4's "Online" column measures).
+func (g *GlobalAllocator) Online(pt *hw.Port, node mem.NodeID, b *Block) error {
+	if b.Owner != mem.NodeNone {
+		return fmt.Errorf("stramash: block %#x already owned by %v", b.Start, b.Owner)
+	}
+	k := g.Ctx.Kernel(node)
+	pages := int64(b.Size / mem.PageSize)
+	memmap := g.memmapBase(node)
+	for p := int64(0); p < pages; p++ {
+		// Initialize the struct page: one write into the memmap array plus
+		// fixed bookkeeping work.
+		if p%8 == 0 {
+			pt.Write64(memmap+mem.PhysAddr((uint64(b.Start)>>mem.PageShift+uint64(p))%0x10000*8), 0)
+		}
+		pt.T.Advance(g.Cfg.OnlinePerPage[node])
+	}
+	if err := k.Alloc.AddRange(b.Start, b.Size); err != nil {
+		return err
+	}
+	b.Owner = node
+	return nil
+}
+
+// Offline reclaims a block from its owner: live pages are evacuated to
+// other memory of the same kernel (page contents copied, page tables
+// rewritten), then every page is isolated and the range removed. This is
+// the "Offline" column of Table 4.
+func (g *GlobalAllocator) Offline(pt *hw.Port, b *Block) error {
+	if b.Owner == mem.NodeNone {
+		return fmt.Errorf("stramash: block %#x not owned", b.Start)
+	}
+	node := b.Owner
+	k := g.Ctx.Kernel(node)
+	end := b.Start + mem.PhysAddr(b.Size)
+
+	// Evacuation: move every live allocation out of the block.
+	for {
+		live := k.Alloc.AllocatedIn(b.Start, end)
+		if len(live) == 0 {
+			break
+		}
+		for _, old := range live {
+			use, movable := g.frameUse[old]
+			if !movable {
+				return fmt.Errorf("stramash: block %#x has unmovable page %#x", b.Start, old)
+			}
+			// Allocate a replacement outside the draining block; pages that
+			// land inside are parked and freed afterwards.
+			var parked []mem.PhysAddr
+			var nw mem.PhysAddr
+			for {
+				p, err := k.Alloc.AllocPage()
+				if err != nil {
+					for _, q := range parked {
+						k.Alloc.Free(q)
+					}
+					return fmt.Errorf("stramash: evacuating %#x: %w", old, err)
+				}
+				if p < b.Start || p >= end {
+					nw = p
+					break
+				}
+				parked = append(parked, p)
+			}
+			for _, q := range parked {
+				if err := k.Alloc.Free(q); err != nil {
+					return err
+				}
+			}
+			pt.CopyPage(nw, old)
+			// Rewrite every kernel's mapping of the page.
+			for n := 0; n < 2; n++ {
+				nn := mem.NodeID(n)
+				meta := use.proc.MetaIfAny(use.va)
+				if meta == nil || !meta.Valid[nn] || meta.Frames[nn] != old {
+					continue
+				}
+				if _, err := kernel.MapFrame(g.Ctx, pt, use.proc, nn, use.va, nw, true); err != nil {
+					return err
+				}
+			}
+			if err := k.Alloc.Free(old); err != nil {
+				return err
+			}
+			g.frameUse[nw] = use
+			delete(g.frameUse, old)
+		}
+	}
+
+	// Isolation: per-page offline bookkeeping.
+	pages := int64(b.Size / mem.PageSize)
+	memmap := g.memmapBase(node)
+	for p := int64(0); p < pages; p++ {
+		if p%8 == 0 {
+			pt.Read64(memmap + mem.PhysAddr((uint64(b.Start)>>mem.PageShift+uint64(p))%0x10000*8))
+		}
+		pt.T.Advance(g.Cfg.OfflinePerPage[node])
+	}
+	if err := k.Alloc.RemoveRange(b.Start, b.Size); err != nil {
+		return err
+	}
+	b.Owner = mem.NodeNone
+	return nil
+}
+
+// memmapBase is where node's struct-page array lives (in its reserved low
+// memory).
+func (g *GlobalAllocator) memmapBase(node mem.NodeID) mem.PhysAddr {
+	regions := g.Ctx.Plat.Layout().OwnedRegions(node)
+	return regions[0].Start + 0x100000
+}
+
+// RequestBlock assigns a block to node: a free block if any, otherwise one
+// evicted from the other kernel — but only while the victim's pressure
+// stays below the requester's (§6.3's balancing rule).
+func (g *GlobalAllocator) RequestBlock(pt *hw.Port, node mem.NodeID) error {
+	for _, b := range g.blocks {
+		if b.Owner == mem.NodeNone {
+			return g.Online(pt, node, b)
+		}
+	}
+	other := kernel.Other(node)
+	me := g.Ctx.Kernel(node).Alloc
+	them := g.Ctx.Kernel(other).Alloc
+	if them.Pressure() >= me.Pressure() {
+		return fmt.Errorf("stramash: no free block and peer pressure %.2f >= ours %.2f", them.Pressure(), me.Pressure())
+	}
+	for _, b := range g.blocks {
+		if b.Owner != other {
+			continue
+		}
+		if err := g.Offline(pt, b); err != nil {
+			continue // unmovable pages: try another block
+		}
+		return g.Online(pt, node, b)
+	}
+	return fmt.Errorf("stramash: no evictable block for %v", node)
+}

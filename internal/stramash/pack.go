@@ -1,0 +1,123 @@
+package stramash
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+// PackStats reports a packing pass.
+type PackStats struct {
+	PagesMoved   int
+	PagesInPlace int
+	// Extent is the contiguous physical range now holding the pages.
+	Extent mem.PhysAddr
+	Bytes  uint64
+}
+
+// PackProcessPages implements §5's "pack data structures' data in
+// contiguous physical memory — so it is simple to categorize and share
+// between kernels" (and §6's note that the prototype implements the
+// packing, including moving pages to reorganize data): every page of proc
+// currently backed by node-owned frames is relocated into one contiguous,
+// naturally-aligned physical extent. Hardware range protection (MPU/IOMMU
+// windows) can then cover the shared state with a single descriptor.
+//
+// Pages are moved with the same copy+remap machinery the global
+// allocator's evacuation uses; both kernels' mappings are rewritten, so
+// the move is transparent to the running application.
+func (o *OS) PackProcessPages(pt *hw.Port, proc *kernel.Process, node mem.NodeID) (PackStats, error) {
+	var st PackStats
+	k := o.Ctx.Kernel(node)
+
+	// Collect the movable pages (frame owned by node, registered with the
+	// global allocator's reverse map through the fault paths).
+	type entry struct {
+		va    pgtable.VirtAddr
+		frame mem.PhysAddr
+	}
+	var pages []entry
+	for va, m := range proc.Pages {
+		for n := 0; n < 2; n++ {
+			if m.Valid[n] && m.FrameOwner[n] == node && k.Alloc.IsAllocated(m.Frames[n]) {
+				pages = append(pages, entry{va: va, frame: m.Frames[n]})
+				break
+			}
+		}
+	}
+	if len(pages) == 0 {
+		return st, nil
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].va < pages[j].va })
+
+	// Allocate one contiguous extent large enough for all of them.
+	order := 0
+	for (1 << order) < len(pages) {
+		order++
+	}
+	if order > kernel.MaxOrder {
+		return st, fmt.Errorf("stramash: %d pages exceed the largest contiguous block", len(pages))
+	}
+	extent, err := k.Alloc.AllocPages(order)
+	if err != nil {
+		return st, fmt.Errorf("stramash: allocating pack extent: %w", err)
+	}
+	st.Extent = extent
+	st.Bytes = uint64(len(pages)) * mem.PageSize
+
+	for i, pg := range pages {
+		dst := extent + mem.PhysAddr(i)*mem.PageSize
+		if pg.frame == dst {
+			st.PagesInPlace++
+			continue
+		}
+		pt.CopyPage(dst, pg.frame)
+		meta := proc.MetaIfAny(pg.va)
+		for n := 0; n < 2; n++ {
+			nn := mem.NodeID(n)
+			if meta == nil || !meta.Valid[nn] || meta.Frames[nn] != pg.frame {
+				continue
+			}
+			if _, err := kernel.MapFrame(o.Ctx, pt, proc, nn, pg.va, dst, true); err != nil {
+				return st, err
+			}
+			meta.FrameOwner[nn] = node
+		}
+		o.Global.UnregisterFrame(pg.frame)
+		o.Global.RegisterFrame(dst, proc, pg.va)
+		if err := k.Alloc.Free(pg.frame); err != nil {
+			return st, err
+		}
+		st.PagesMoved++
+	}
+	return st, nil
+}
+
+// ContiguousExtentOf reports whether every node-owned page of proc sits in
+// one contiguous physical run, returning its bounds (used by tests and by
+// callers setting up hardware range protection).
+func ContiguousExtentOf(proc *kernel.Process, node mem.NodeID) (lo, hi mem.PhysAddr, contiguous bool) {
+	var frames []mem.PhysAddr
+	for _, m := range proc.Pages {
+		for n := 0; n < 2; n++ {
+			if m.Valid[n] && m.FrameOwner[n] == node {
+				frames = append(frames, m.Frames[n])
+				break
+			}
+		}
+	}
+	if len(frames) == 0 {
+		return 0, 0, true
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	for i := 1; i < len(frames); i++ {
+		if frames[i] != frames[i-1]+mem.PageSize {
+			return frames[0], frames[len(frames)-1] + mem.PageSize, false
+		}
+	}
+	return frames[0], frames[len(frames)-1] + mem.PageSize, true
+}

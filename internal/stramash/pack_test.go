@@ -1,0 +1,172 @@
+package stramash
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+func TestPackProcessPages(t *testing.T) {
+	ctx, os := testSystem(t, mem.Shared)
+	var proc *kernel.Process
+	values := map[pgtable.VirtAddr]uint64{}
+
+	runTask(t, ctx, os, mem.NodeX86, func(task *kernel.Task) error {
+		proc = task.Proc
+		base, err := task.Proc.Mmap(64*mem.PageSize, kernel.VMARead|kernel.VMAWrite, "d")
+		if err != nil {
+			return err
+		}
+		// Touch pages in a scattered order (interleaved with other
+		// allocations) so the frames are NOT naturally contiguous.
+		other, err := task.Proc.Mmap(64*mem.PageSize, kernel.VMARead|kernel.VMAWrite, "noise")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 24; i++ {
+			va := base + pgtable.VirtAddr(i*mem.PageSize)
+			if err := task.Store(va, 8, uint64(0xAB00+i)); err != nil {
+				return err
+			}
+			values[va] = uint64(0xAB00 + i)
+			if i%3 == 0 {
+				if err := task.Store(other+pgtable.VirtAddr(i*mem.PageSize), 8, 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	if _, _, contig := ContiguousExtentOf(proc, mem.NodeX86); contig {
+		t.Fatal("frames unexpectedly contiguous before packing (test setup broken)")
+	}
+
+	// Pack, then verify placement and content.
+	var st PackStats
+	ctx.Plat.Engine.Spawn("pack", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeX86, 0, th)
+		var err error
+		st, err = os.PackProcessPages(pt, proc, mem.NodeX86)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesMoved == 0 {
+		t.Error("packing moved no pages")
+	}
+	lo, hi, contig := ContiguousExtentOf(proc, mem.NodeX86)
+	if !contig {
+		t.Fatalf("frames not contiguous after packing: [%#x, %#x)", lo, hi)
+	}
+
+	// Contents survive the relocation and remain visible through the
+	// page tables of the running process.
+	ctx.Plat.Engine.Spawn("verify", 0, func(th *sim.Thread) {
+		task := kernel.NewTask("verify", proc, os, ctx, th)
+		for va, want := range values {
+			got, err := task.Load(va, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got != want {
+				t.Errorf("after packing, [%#x] = %#x, want %#x", va, got, want)
+				return
+			}
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackEmptyProcess(t *testing.T) {
+	ctx, os := testSystem(t, mem.Shared)
+	var proc *kernel.Process
+	ctx.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeX86, 0, th)
+		proc, _ = os.CreateProcess(pt, mem.NodeX86)
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Plat.Engine.Spawn("pack", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeX86, 0, th)
+		st, err := os.PackProcessPages(pt, proc, mem.NodeX86)
+		if err != nil {
+			t.Error(err)
+		}
+		if st.PagesMoved != 0 || st.Bytes != 0 {
+			t.Errorf("empty process packed: %+v", st)
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackKeepsBothNodesMappingsCoherent(t *testing.T) {
+	ctx, os := testSystem(t, mem.Shared)
+	var proc *kernel.Process
+	var base pgtable.VirtAddr
+	runTask(t, ctx, os, mem.NodeX86, func(task *kernel.Task) error {
+		proc = task.Proc
+		var err error
+		base, err = task.Proc.Mmap(16*mem.PageSize, kernel.VMARead|kernel.VMAWrite, "d")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			if err := task.Store(base+pgtable.VirtAddr(i*mem.PageSize), 8, uint64(i+100)); err != nil {
+				return err
+			}
+		}
+		// Map the pages on the remote side too (shared frames).
+		if err := task.Migrate(mem.NodeArm); err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := task.Load(base+pgtable.VirtAddr(i*mem.PageSize), 8); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	ctx.Plat.Engine.Spawn("pack", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeX86, 0, th)
+		if _, err := os.PackProcessPages(pt, proc, mem.NodeX86); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both page tables must now reference the same (packed) frames.
+	for i := 0; i < 8; i++ {
+		va := base + pgtable.VirtAddr(i*mem.PageSize)
+		m := proc.MetaIfAny(va)
+		if m == nil || !m.Valid[0] || !m.Valid[1] {
+			t.Fatalf("page %d not mapped on both nodes after packing", i)
+		}
+		if m.Frames[0] != m.Frames[1] {
+			t.Errorf("page %d frames diverged after packing: %#x vs %#x", i, m.Frames[0], m.Frames[1])
+		}
+		// And the in-table PTEs agree with the metadata.
+		phys := ctx.Plat.Phys
+		for n := 0; n < 2; n++ {
+			pfn, _, ok := proc.Tables[n].Walk(phys, va)
+			if !ok || mem.PhysAddr(pfn<<mem.PageShift) != m.Frames[n] {
+				t.Errorf("page %d node %d PTE stale after packing", i, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package stramash
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/interconnect"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// tinySystem boots a context whose x86 kernel has very little initial
+// memory, so allocation pressure rises quickly.
+func tinySystem(t *testing.T) (*kernel.Context, *OS) {
+	t.Helper()
+	plat := hw.NewPlatform(hw.DefaultConfig(mem.Shared))
+	x86k, err := kernel.Boot(plat, mem.NodeX86, pgtable.X86Format{},
+		kernel.BootConfig{ReserveLow: 64 << 20, MaxInitial: 4 << 20}) // 4 MB usable
+	if err != nil {
+		t.Fatal(err)
+	}
+	armk, err := kernel.Boot(plat, mem.NodeArm, pgtable.Arm64Format{},
+		kernel.BootConfig{ReserveLow: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &kernel.Context{Plat: plat, Kernels: [2]*kernel.Kernel{x86k, armk}}
+	var os *OS
+	plat.Engine.Spawn("boot", 0, func(th *sim.Thread) {
+		pt := plat.NewPort(mem.NodeX86, 0, th)
+		base := plat.Layout().SharedRegions()[0].Start
+		msgr := interconnect.NewMessenger(interconnect.DefaultConfig(interconnect.SHM, base+(512<<20)), plat, pt)
+		os = New(ctx, msgr)
+		// Small blocks so a request can be satisfied from the pool quickly.
+		cfg := DefaultGlobalConfig()
+		cfg.BlockSize = 32 << 20
+		os.Global = NewGlobalAllocator(ctx, cfg)
+	})
+	if err := plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ctx, os
+}
+
+func TestPressureTriggersGlobalBlockRequest(t *testing.T) {
+	ctx, os := tinySystem(t)
+	beforeBlocks := os.Global.FreeBlocks()
+	beforeTotal := ctx.Kernels[0].Alloc.TotalPages()
+
+	// Allocate well past 70% of the tiny kernel's 4 MB: the fault path
+	// must pull a 32 MB block from the global pool (§6.3).
+	runTask(t, ctx, os, mem.NodeX86, func(task *kernel.Task) error {
+		base, err := task.Proc.Mmap(8<<20, kernel.VMARead|kernel.VMAWrite, "big")
+		if err != nil {
+			return err
+		}
+		for off := 0; off < 8<<20; off += mem.PageSize {
+			if err := task.Store(base+pgtable.VirtAddr(off), 8, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	if os.Stats.GlobalBlockMoves == 0 {
+		t.Error("memory pressure did not trigger a global block request")
+	}
+	if os.Global.FreeBlocks() >= beforeBlocks {
+		t.Error("no block left the global pool")
+	}
+	after := ctx.Kernels[0].Alloc.TotalPages()
+	if after <= beforeTotal {
+		t.Errorf("kernel memory did not grow: %d -> %d pages", beforeTotal, after)
+	}
+	// The onlined block belongs to the CXL pool: subsequent x86 accesses
+	// to it are remote, which is precisely the §6.3 trade-off.
+	pool := ctx.Plat.Layout().SharedRegions()[0]
+	found := false
+	for _, b := range os.Global.Blocks() {
+		if b.Owner == mem.NodeX86 && pool.Contains(b.Start) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no pool block recorded as x86-owned")
+	}
+}
+
+func TestEvictionRebalancesBlocksUnderPressure(t *testing.T) {
+	// §6.3: with the pool empty, a pressured kernel evicts blocks from the
+	// other kernel while the victim's pressure stays below its own.
+	ctx, os := tinySystem(t)
+	// Drain the pool by onlining everything to arm first; arm's blocks are
+	// all free, so they are evictable.
+	ctx.Plat.Engine.Spawn("drain", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeArm, 0, th)
+		for i := 0; ; i++ {
+			if err := os.Global.RequestBlock(pt, mem.NodeArm); err != nil {
+				break
+			}
+			if i > 1000 {
+				t.Error("pool never drained")
+				break
+			}
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if os.Global.FreeBlocks() != 0 {
+		t.Fatalf("pool not drained: %d free", os.Global.FreeBlocks())
+	}
+	armBlocksBefore := 0
+	for _, b := range os.Global.Blocks() {
+		if b.Owner == mem.NodeArm {
+			armBlocksBefore++
+		}
+	}
+
+	// The pressured x86 kernel allocates beyond its own memory: blocks
+	// must migrate from arm to x86.
+	runTask(t, ctx, os, mem.NodeX86, func(task *kernel.Task) error {
+		base, err := task.Proc.Mmap(8<<20, kernel.VMARead|kernel.VMAWrite, "big")
+		if err != nil {
+			return err
+		}
+		for off := 0; off < 8<<20; off += mem.PageSize {
+			if err := task.Store(base+pgtable.VirtAddr(off), 8, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	x86Blocks, armBlocks := 0, 0
+	for _, b := range os.Global.Blocks() {
+		switch b.Owner {
+		case mem.NodeX86:
+			x86Blocks++
+		case mem.NodeArm:
+			armBlocks++
+		}
+	}
+	if x86Blocks == 0 {
+		t.Error("no block migrated to the pressured kernel")
+	}
+	if armBlocks >= armBlocksBefore {
+		t.Errorf("arm kept all %d blocks", armBlocks)
+	}
+}
+
+func TestOOMSurfacesAsError(t *testing.T) {
+	// With no global blocks at all, exhausting the kernel's own memory
+	// must surface as a clean error through the fault path, not a panic.
+	ctx, os := tinySystem(t)
+	empty := DefaultGlobalConfig()
+	empty.BlockSize = 16 << 30 // larger than the pool: zero blocks carved
+	os.Global = NewGlobalAllocator(ctx, empty)
+	if os.Global.FreeBlocks() != 0 {
+		t.Fatalf("expected an empty global pool, got %d blocks", os.Global.FreeBlocks())
+	}
+
+	var proc *kernel.Process
+	ctx.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
+		pt := ctx.Plat.NewPort(mem.NodeX86, 0, th)
+		proc, _ = os.CreateProcess(pt, mem.NodeX86)
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	ctx.Plat.Engine.Spawn("oom", 0, func(th *sim.Thread) {
+		task := kernel.NewTask("oom", proc, os, ctx, th)
+		base, err := proc.Mmap(16<<20, kernel.VMARead|kernel.VMAWrite, "huge")
+		if err != nil {
+			gotErr = err
+			return
+		}
+		for off := 0; off < 16<<20; off += mem.PageSize {
+			if err := task.Store(base+pgtable.VirtAddr(off), 8, 1); err != nil {
+				gotErr = err
+				return
+			}
+		}
+	})
+	if err := ctx.Plat.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr == nil {
+		t.Fatal("allocating past all physical memory did not fail")
+	}
+}

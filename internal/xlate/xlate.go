@@ -1,0 +1,62 @@
+// Package xlate implements Popcorn-compiler-style execution state
+// transformation between the two ISAs (§5 "Applications' Compiler and
+// Linker"). At compiler-designated migration points, the live program state
+// is captured from the source architecture's register file into an
+// ISA-neutral common format, and re-materialized into the destination
+// architecture's register file, with the destination PC set to the
+// equivalent point in the destination binary.
+//
+// The register files differ in size (16 vs 32) and the compiler's register
+// assignment differs per target, so the transformation is table-driven: the
+// compiler (internal/minicc) emits a RegMap per target plus per-point PCs.
+package xlate
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// RegMap maps a virtual (common-format) register to a machine register for
+// one target architecture.
+type RegMap func(vreg int) int
+
+// CommonState is the ISA-neutral execution state at a migration point: the
+// values of the live virtual registers plus the point's identity.
+type CommonState struct {
+	PointID int
+	VRegs   []uint64
+}
+
+// Capture reads n virtual registers out of cpu through the map.
+func Capture(cpu isa.CPU, n int, rm RegMap) CommonState {
+	cs := CommonState{VRegs: make([]uint64, n)}
+	for v := 0; v < n; v++ {
+		cs.VRegs[v] = cpu.Reg(rm(v))
+	}
+	return cs
+}
+
+// Restore writes the common state into cpu through the map and points the
+// CPU at pc (the equivalent migration point in the destination binary).
+func Restore(cpu isa.CPU, cs CommonState, rm RegMap, pc uint64) error {
+	for v, val := range cs.VRegs {
+		r := rm(v)
+		if r < 0 || r >= cpu.NumRegs() {
+			return fmt.Errorf("xlate: vreg %d maps to invalid %v register %d", v, cpu.Arch(), r)
+		}
+		cpu.SetReg(r, val)
+	}
+	cpu.SetPC(pc)
+	return nil
+}
+
+// Transform moves execution state from src to dst in one call.
+func Transform(src, dst isa.CPU, n int, srcMap, dstMap RegMap, dstPC uint64, pointID int) (CommonState, error) {
+	cs := Capture(src, n, srcMap)
+	cs.PointID = pointID
+	if err := Restore(dst, cs, dstMap, dstPC); err != nil {
+		return cs, err
+	}
+	return cs, nil
+}

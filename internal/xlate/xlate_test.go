@@ -1,0 +1,76 @@
+package xlate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestCaptureReadsThroughMap(t *testing.T) {
+	cpu := isa.NewX86CPU(0, 0)
+	cpu.SetReg(5, 111)
+	cpu.SetReg(6, 222)
+	cs := Capture(cpu, 2, func(v int) int { return 5 + v })
+	if cs.VRegs[0] != 111 || cs.VRegs[1] != 222 {
+		t.Errorf("captured %v", cs.VRegs)
+	}
+}
+
+func TestRestoreWritesThroughMapAndSetsPC(t *testing.T) {
+	cpu := isa.NewArmCPU(0, 0)
+	cs := CommonState{PointID: 3, VRegs: []uint64{7, 8, 9}}
+	if err := Restore(cpu, cs, func(v int) int { return 10 + v }, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range cs.VRegs {
+		if got := cpu.Reg(10 + v); got != want {
+			t.Errorf("reg %d = %d, want %d", 10+v, got, want)
+		}
+	}
+	if cpu.PC() != 0x1234 {
+		t.Errorf("pc = %#x", cpu.PC())
+	}
+}
+
+func TestRestoreRejectsBadMap(t *testing.T) {
+	cpu := isa.NewX86CPU(0, 0)
+	if err := Restore(cpu, CommonState{VRegs: []uint64{1}}, func(int) int { return 16 }, 0); err == nil {
+		t.Error("register 16 accepted on a 16-register file")
+	}
+	if err := Restore(cpu, CommonState{VRegs: []uint64{1}}, func(int) int { return -1 }, 0); err == nil {
+		t.Error("negative register accepted")
+	}
+}
+
+func TestTransformProperty(t *testing.T) {
+	// Transform from a 16-reg machine to a 32-reg machine and back is the
+	// identity on the virtual state regardless of map choice.
+	f := func(vals [6]uint64, xBase, aBase uint8) bool {
+		xb := int(xBase%10) + 1 // 1..10, +5 regs fits in 16
+		ab := int(aBase%25) + 1 // 1..25, +5 regs fits in 32
+		xm := func(v int) int { return xb + v }
+		am := func(v int) int { return ab + v }
+		src := isa.NewX86CPU(0, 0)
+		for v, val := range vals {
+			src.SetReg(xm(v), val)
+		}
+		mid := isa.NewArmCPU(0, 0)
+		if _, err := Transform(src, mid, len(vals), xm, am, 0x40, 1); err != nil {
+			return false
+		}
+		dst := isa.NewX86CPU(0, 0)
+		if _, err := Transform(mid, dst, len(vals), am, xm, 0x80, 1); err != nil {
+			return false
+		}
+		for v, val := range vals {
+			if dst.Reg(xm(v)) != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package stramash is a from-scratch Go reproduction of "Stramash: A
+// Fused-Kernel Operating System For Cache-Coherent, Heterogeneous-ISA
+// Platforms" (ASPLOS 2025): a deterministic architectural simulation of a
+// two-ISA (x86-64 + AArch64) cache-coherent platform, two operating-system
+// personalities on top of it — the shared-nothing multiple-kernel baseline
+// (Popcorn-style) and the paper's shared-mostly fused-kernel design — and
+// the full evaluation harness that regenerates every table and figure of
+// the paper.
+//
+// The package is a facade: it re-exports the stable surface of the
+// internal packages so applications can build and drive simulated machines
+// without importing internals.
+//
+// # Quick start
+//
+//	m, err := stramash.NewMachine(stramash.MachineConfig{
+//	    Model: stramash.ModelShared,
+//	    OS:    stramash.FusedKernel,
+//	})
+//	if err != nil { ... }
+//	res, err := m.RunSingle("hello", stramash.NodeX86, func(t *stramash.Task) error {
+//	    buf, err := t.Proc.Mmap(1<<20, stramash.VMARead|stramash.VMAWrite, "heap")
+//	    if err != nil { return err }
+//	    if err := t.Store(buf, 8, 42); err != nil { return err }
+//	    if err := t.Migrate(stramash.NodeArm); err != nil { return err }
+//	    v, err := t.Load(buf, 8) // read on the other ISA, no copies
+//	    ...
+//	})
+package stramash
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/npb"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// Machine construction.
+type (
+	// MachineConfig selects the hardware model, OS personality and
+	// machine parameters.
+	MachineConfig = machine.Config
+	// Machine is an assembled two-ISA system.
+	Machine = machine.Machine
+	// TaskSpec describes one task for Machine.RunTasks.
+	TaskSpec = machine.TaskSpec
+	// TaskResult reports one finished task.
+	TaskResult = machine.Result
+	// Task is a simulated thread: the workload-facing API.
+	Task = kernel.Task
+	// Process is a simulated user process.
+	Process = kernel.Process
+	// Cycles is simulated time in CPU cycles.
+	Cycles = sim.Cycles
+	// VirtAddr is a virtual address in a process's address space.
+	VirtAddr = pgtable.VirtAddr
+	// OSKind selects an operating-system personality.
+	OSKind = machine.OSKind
+	// MemModel selects a hardware memory configuration.
+	MemModel = mem.Model
+	// NodeID identifies a processor complex.
+	NodeID = mem.NodeID
+)
+
+// NewMachine builds and boots a simulated machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// Hardware memory models (Figure 3 of the paper).
+const (
+	// ModelSeparated: per-node memories, coherent interconnect (NUMA/CXL).
+	ModelSeparated = mem.Separated
+	// ModelShared: per-node memories plus a CXL 3.0 shared pool.
+	ModelShared = mem.Shared
+	// ModelFullyShared: one memory, single-chip integration.
+	ModelFullyShared = mem.FullyShared
+)
+
+// Operating-system personalities.
+const (
+	// SingleKernel runs the app on one kernel, no migration ("Vanilla").
+	SingleKernel = machine.VanillaOS
+	// MultiKernelTCP is the shared-nothing baseline over a network path.
+	MultiKernelTCP = machine.PopcornTCP
+	// MultiKernelSHM is the shared-nothing baseline over shared-memory
+	// message rings.
+	MultiKernelSHM = machine.PopcornSHM
+	// FusedKernel is the paper's contribution: shared-mostly kernels.
+	FusedKernel = machine.StramashOS
+)
+
+// Nodes of the two-ISA platform.
+const (
+	// NodeX86 is the x86-64 processor complex.
+	NodeX86 = mem.NodeX86
+	// NodeArm is the AArch64 processor complex.
+	NodeArm = mem.NodeArm
+)
+
+// VMA permission flags for Process.Mmap.
+const (
+	// VMARead marks an area readable.
+	VMARead = kernel.VMARead
+	// VMAWrite marks an area writable.
+	VMAWrite = kernel.VMAWrite
+	// VMAExec marks an area executable.
+	VMAExec = kernel.VMAExec
+)
+
+// Workloads.
+type (
+	// Workload is a runnable benchmark (the NPB kernels).
+	Workload = npb.Workload
+	// WorkloadClass scales a workload.
+	WorkloadClass = npb.Class
+)
+
+// Workload classes.
+const (
+	// ClassTiny is unit-test sized.
+	ClassTiny = npb.ClassT
+	// ClassSmall is the evaluation size.
+	ClassSmall = npb.ClassS
+	// ClassWide is the larger cache-sensitivity size.
+	ClassWide = npb.ClassW
+)
+
+// NewWorkload returns one of the NPB benchmarks: "IS", "CG", "MG", "FT".
+func NewWorkload(name string, class WorkloadClass) (Workload, error) {
+	return npb.New(name, class)
+}
+
+// WorkloadNames lists the available benchmarks.
+func WorkloadNames() []string { return npb.Names() }
+
+// Experiments.
+type (
+	// Experiment names one table/figure runner.
+	Experiment = experiments.Spec
+	// ExperimentResult is a finished experiment.
+	ExperimentResult = experiments.Result
+	// ExperimentScale selects quick or full workloads.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	// ScaleQuick runs CI-sized workloads.
+	ScaleQuick = experiments.Quick
+	// ScaleFull runs evaluation-sized workloads.
+	ScaleFull = experiments.Full
+)
+
+// Experiments returns every table/figure runner in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// FindExperiment looks an experiment up by id (e.g. "fig9", "table3").
+func FindExperiment(id string) (Experiment, bool) { return experiments.Find(id) }

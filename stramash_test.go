@@ -1,0 +1,83 @@
+package stramash_test
+
+import (
+	"testing"
+
+	stramash "repro"
+)
+
+func TestFacadeQuickstartScenario(t *testing.T) {
+	m, err := stramash.NewMachine(stramash.MachineConfig{
+		Model: stramash.ModelShared,
+		OS:    stramash.FusedKernel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunSingle("facade", stramash.NodeX86, func(task *stramash.Task) error {
+		heap, err := task.Proc.Mmap(64<<10, stramash.VMARead|stramash.VMAWrite, "heap")
+		if err != nil {
+			return err
+		}
+		if err := task.Store(heap, 8, 0xC0FFEE); err != nil {
+			return err
+		}
+		if err := task.Migrate(stramash.NodeArm); err != nil {
+			return err
+		}
+		v, err := task.Load(heap, 8)
+		if err != nil {
+			return err
+		}
+		if v != 0xC0FFEE {
+			t.Errorf("cross-ISA read = %#x", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := stramash.WorkloadNames()
+	if len(names) != 4 {
+		t.Fatalf("workloads = %v", names)
+	}
+	w, err := stramash.NewWorkload("CG", stramash.ClassTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := stramash.NewMachine(stramash.MachineConfig{
+		Model: stramash.ModelFullyShared,
+		OS:    stramash.SingleKernel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunSingle("cg", stramash.NodeX86, func(task *stramash.Task) error {
+		return w.Run(task, false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(stramash.Experiments()) != 16 {
+		t.Errorf("experiment count = %d", len(stramash.Experiments()))
+	}
+	spec, ok := stramash.FindExperiment("table2")
+	if !ok {
+		t.Fatal("table2 missing")
+	}
+	res, err := spec.Run(stramash.ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShapeErrors()) != 0 {
+		t.Errorf("table2 shape errors: %v", res.ShapeErrors())
+	}
+}
