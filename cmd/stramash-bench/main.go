@@ -2,18 +2,27 @@
 // paper's evaluation section and reports, per experiment, whether the
 // paper's shape claims reproduce.
 //
+// Experiments run on a bounded worker pool (one fully isolated simulated
+// machine set per experiment). The report on stdout is rendered in paper
+// order whatever the completion order, so it is byte-identical at any
+// -parallel setting; timing and the run summary go to stderr.
+//
 // Usage:
 //
-//	stramash-bench [-scale quick|full] [-only <id>] [-list]
+//	stramash-bench [-scale quick|full] [-only <id>] [-parallel N]
+//	               [-timeout d] [-timing] [-list]
 //
 // Experiment ids: table2, fig5-6-small, fig5-6-big, fig7-small, fig7-big,
-// fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14.
+// fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14,
+// ablation-remote-alloc, ablation-ipi.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -22,6 +31,9 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	only := flag.String("only", "", "run a single experiment by id")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 0, "experiments in flight (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+	timing := flag.Bool("timing", false, "print per-experiment wall-clock timing to stderr")
 	flag.Parse()
 
 	if *list {
@@ -52,14 +64,23 @@ func main() {
 		specs = []experiments.Spec{s}
 	}
 
-	deviations := 0
-	for _, s := range specs {
-		_, shape, err := experiments.RunAndReport(os.Stdout, s, scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+	opts := experiments.PoolOptions{Parallelism: *parallel, Timeout: *timeout}
+	start := time.Now()
+	outcomes := experiments.RunPool(context.Background(), specs, scale, opts)
+	wall := time.Since(start)
+
+	if *timing {
+		for _, o := range outcomes {
+			fmt.Fprintf(os.Stderr, "%-22s %v\n", o.Spec.ID, o.Wall.Round(time.Millisecond))
 		}
-		deviations += len(shape)
+	}
+	summary := experiments.Summarize(outcomes, wall)
+	fmt.Fprintln(os.Stderr, summary)
+
+	deviations, err := experiments.Report(os.Stdout, outcomes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
 	}
 	if deviations > 0 {
 		fmt.Printf("total shape deviations: %d\n", deviations)

@@ -3,21 +3,28 @@
 // against the bare-metal reference machines (Figure 7), and the cache
 // plugin comparison against the independent gem5-style model (Figure 8).
 //
+// Like stramash-bench, the validation experiments run on a bounded worker
+// pool; the stdout report is rendered in suite order and is byte-identical
+// at any -parallel setting.
+//
 // Usage:
 //
-//	stramash-validate [-scale quick|full]
+//	stramash-validate [-scale quick|full] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	parallel := flag.Int("parallel", 0, "experiments in flight (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -25,19 +32,25 @@ func main() {
 		scale = experiments.Full
 	}
 
-	deviations := 0
+	var specs []experiments.Spec
 	for _, id := range []string{"table2", "fig5-6-small", "fig5-6-big", "fig7-small", "fig7-big", "fig8"} {
 		spec, ok := experiments.Find(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
 			os.Exit(1)
 		}
-		_, shape, err := experiments.RunAndReport(os.Stdout, spec, scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
-		}
-		deviations += len(shape)
+		specs = append(specs, spec)
+	}
+
+	start := time.Now()
+	outcomes := experiments.RunPool(context.Background(), specs, scale,
+		experiments.PoolOptions{Parallelism: *parallel})
+	fmt.Fprintln(os.Stderr, experiments.Summarize(outcomes, time.Since(start)))
+
+	deviations, err := experiments.Report(os.Stdout, outcomes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
 	}
 	if deviations > 0 {
 		fmt.Printf("validation finished with %d shape deviation(s)\n", deviations)

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// checkMESI asserts DESIGN invariant 1 against the coherence directory:
+// at most one node holds a line Modified/Exclusive, an M/E holder is the
+// line's only holder (so Shared never coexists with Modified elsewhere),
+// and a Modified line always has an owner.
+func checkMESI(t *testing.T, h *Hierarchy, step int) {
+	t.Helper()
+	for ln, e := range h.dir {
+		if e.modified && e.owner == -1 {
+			t.Fatalf("step %d: line %#x is Modified with no owner", step, ln)
+		}
+		if e.owner != -1 {
+			if e.owner != 0 && e.owner != 1 {
+				t.Fatalf("step %d: line %#x has invalid owner %d", step, ln, e.owner)
+			}
+			if !e.holders[e.owner] {
+				t.Fatalf("step %d: line %#x owned M/E by node %d which is not a holder", step, ln, e.owner)
+			}
+			if e.holders[1-e.owner] {
+				t.Fatalf("step %d: line %#x held M/E by node %d while node %d also holds it (S coexists with M/E)",
+					step, ln, e.owner, 1-e.owner)
+			}
+		}
+		if e.holders[0] && e.holders[1] && (e.owner != -1 || e.modified) {
+			t.Fatalf("step %d: line %#x shared by both nodes but owner=%d modified=%v",
+				step, ln, e.owner, e.modified)
+		}
+	}
+}
+
+// candidateLines builds a small pool of addresses drawn from every region
+// of the layout (both nodes' local memory plus any shared pool), kept
+// deliberately tight so random schedules produce heavy cross-node sharing,
+// set conflicts, and L3 evictions.
+func candidateLines(layout *mem.Layout) []mem.PhysAddr {
+	var addrs []mem.PhysAddr
+	add := func(r mem.Region) {
+		for i := 0; i < 24; i++ {
+			addrs = append(addrs, r.Start+mem.PhysAddr(i*mem.LineSize))
+			// A second run far into the region, aliasing the first run's
+			// cache sets at a different tag.
+			addrs = append(addrs, r.Start+mem.PhysAddr(i*mem.LineSize)+(1<<26))
+		}
+	}
+	for n := 0; n < 2; n++ {
+		for _, r := range layout.OwnedRegions(mem.NodeID(n)) {
+			add(r)
+		}
+	}
+	for _, r := range layout.SharedRegions() {
+		add(r)
+	}
+	return addrs
+}
+
+// TestMESIInvariantRandomSchedules drives random cross-node access
+// schedules through the hierarchy in all three hardware models and checks
+// the MESI safety invariant after every access (DESIGN.md §5, invariant 1).
+func TestMESIInvariantRandomSchedules(t *testing.T) {
+	const (
+		seeds = 6
+		steps = 3000
+	)
+	for _, model := range []mem.Model{mem.Separated, mem.Shared, mem.FullyShared} {
+		model := model
+		t.Run(fmt.Sprintf("model=%d", int(model)), func(t *testing.T) {
+			layout := mem.DefaultLayout(model)
+			addrs := candidateLines(&layout)
+			if len(addrs) == 0 {
+				t.Fatal("no candidate addresses")
+			}
+			for seed := uint64(1); seed <= seeds; seed++ {
+				h := NewHierarchy(DefaultConfig(model), &layout)
+				rng := sim.NewRNG(seed*0x9E37 + uint64(model))
+				for step := 0; step < steps; step++ {
+					node := mem.NodeID(rng.Intn(2))
+					kind := Kind(rng.Intn(3))
+					addr := addrs[rng.Intn(len(addrs))]
+					size := 1 << rng.Intn(4) // 1..8 bytes
+					// Occasionally straddle a line boundary.
+					if rng.Intn(8) == 0 {
+						addr += mem.PhysAddr(mem.LineSize - 2)
+						size = 4
+					}
+					h.Access(node, 0, kind, addr, size)
+					checkMESI(t, h, step)
+				}
+				// Directory state must also agree with the public view.
+				for ln, e := range h.dir {
+					pa := mem.PhysAddr(ln) * mem.LineSize
+					for n := 0; n < 2; n++ {
+						if h.HoldsLine(mem.NodeID(n), pa) != e.holders[n] {
+							t.Fatalf("HoldsLine(%d, %#x) disagrees with directory", n, pa)
+						}
+					}
+					if h.OwnerOf(pa) != e.owner {
+						t.Fatalf("OwnerOf(%#x) = %d, directory says %d", pa, h.OwnerOf(pa), e.owner)
+					}
+				}
+			}
+		})
+	}
+}

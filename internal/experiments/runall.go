@@ -52,9 +52,17 @@ func RunAndReport(w io.Writer, spec Spec, scale Scale) (Result, []string, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", spec.ID, err)
 	}
+	shape := res.ShapeErrors()
+	reportResult(w, res, shape)
+	return res, shape, nil
+}
+
+// reportResult writes one finished result in the canonical report format.
+// Both the sequential path (RunAndReport) and the parallel pool (Report)
+// render through this, which is what keeps their output byte-identical.
+func reportResult(w io.Writer, res Result, shape []string) {
 	fmt.Fprintf(w, "== %s ==\n", res.Name())
 	fmt.Fprint(w, res.Render())
-	shape := res.ShapeErrors()
 	if len(shape) == 0 {
 		fmt.Fprintf(w, "shape: REPRODUCED\n\n")
 	} else {
@@ -64,5 +72,4 @@ func RunAndReport(w io.Writer, spec Spec, scale Scale) (Result, []string, error)
 		}
 		fmt.Fprintln(w)
 	}
-	return res, shape, nil
 }

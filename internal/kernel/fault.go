@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 	"repro/internal/mem"
@@ -214,8 +215,18 @@ func (v *Vanilla) ExitTask(t *Task) error {
 // the allocator chosen by owner (per node). Used by every personality's
 // exit path; the owner policy is what §6.4 varies.
 func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(mem.NodeID, *PageMeta) mem.NodeID) error {
+	// Tear pages down in address order: the unmap writes and frame frees go
+	// through the cache model and the buddy allocator, so iterating the map
+	// directly would make the exit path's cycle count (and the allocator's
+	// post-exit free-list shape) depend on Go's map iteration order.
+	vas := make([]pgtable.VirtAddr, 0, len(proc.Pages))
+	for va := range proc.Pages {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
 	freed := make(map[mem.PhysAddr]bool)
-	for va, m := range proc.Pages {
+	for _, va := range vas {
+		m := proc.Pages[va]
 		for n := 0; n < 2; n++ {
 			node := mem.NodeID(n)
 			if !m.Valid[node] {

@@ -29,6 +29,9 @@
 package stramash
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -143,6 +146,13 @@ type (
 	ExperimentResult = experiments.Result
 	// ExperimentScale selects quick or full workloads.
 	ExperimentScale = experiments.Scale
+	// ExperimentOutcome records one experiment's run on the pool.
+	ExperimentOutcome = experiments.Outcome
+	// ExperimentSummary aggregates a whole-suite run (specs, deviations,
+	// wall/cpu time).
+	ExperimentSummary = experiments.Summary
+	// ExperimentPoolOptions bounds parallelism and per-spec timeouts.
+	ExperimentPoolOptions = experiments.PoolOptions
 )
 
 // Experiment scales.
@@ -158,3 +168,20 @@ func Experiments() []Experiment { return experiments.All() }
 
 // FindExperiment looks an experiment up by id (e.g. "fig9", "table3").
 func FindExperiment(id string) (Experiment, bool) { return experiments.Find(id) }
+
+// RunAll regenerates every table and figure at the given scale on a
+// bounded worker pool (parallelism <= 0 means GOMAXPROCS), writing the
+// canonical report to w. Each experiment runs against its own isolated
+// machines, so the report is byte-identical at any parallelism; cancelling
+// ctx fails experiments that have not started yet. The summary carries the
+// deviation count and wall/cpu times; err is the first experiment failure.
+func RunAll(ctx context.Context, w io.Writer, scale ExperimentScale, parallelism int) (ExperimentSummary, error) {
+	s, _, err := experiments.RunAllParallel(ctx, w, scale, ExperimentPoolOptions{Parallelism: parallelism})
+	return s, err
+}
+
+// RunExperiments runs an arbitrary spec subset on the pool and returns the
+// outcomes in spec order.
+func RunExperiments(ctx context.Context, specs []Experiment, scale ExperimentScale, opts ExperimentPoolOptions) []ExperimentOutcome {
+	return experiments.RunPool(ctx, specs, scale, opts)
+}

@@ -1,6 +1,9 @@
 package stramash_test
 
 import (
+	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	stramash "repro"
@@ -79,5 +82,54 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if len(res.ShapeErrors()) != 0 {
 		t.Errorf("table2 shape errors: %v", res.ShapeErrors())
+	}
+}
+
+func TestFacadeRunExperimentsParallel(t *testing.T) {
+	// A cheap subset through the public pool API, sequential vs parallel:
+	// outcomes must land in spec order and render identically.
+	var specs []stramash.Experiment
+	for _, id := range []string{"table2", "fig5-6-small", "ablation-ipi"} {
+		s, ok := stramash.FindExperiment(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		specs = append(specs, s)
+	}
+	seq := stramash.RunExperiments(context.Background(), specs, stramash.ScaleQuick,
+		stramash.ExperimentPoolOptions{Parallelism: 1})
+	par := stramash.RunExperiments(context.Background(), specs, stramash.ScaleQuick,
+		stramash.ExperimentPoolOptions{Parallelism: len(specs)})
+	for i := range specs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s: seq err=%v par err=%v", specs[i].ID, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Spec.ID != specs[i].ID || par[i].Spec.ID != specs[i].ID {
+			t.Errorf("outcome %d out of order: seq=%s par=%s", i, seq[i].Spec.ID, par[i].Spec.ID)
+		}
+		if seq[i].Result.Render() != par[i].Result.Render() {
+			t.Errorf("%s renders differently under parallelism", specs[i].ID)
+		}
+	}
+}
+
+func TestFacadeRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	summary, err := stramash.RunAll(context.Background(), &buf, stramash.ScaleQuick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Specs != 16 || summary.Errors != 0 {
+		t.Errorf("summary = %+v", summary)
+	}
+	if summary.Wall <= 0 || summary.CPU <= 0 {
+		t.Errorf("summary times not recorded: %+v", summary)
+	}
+	out := buf.String()
+	if strings.Count(out, "== ") != 16 {
+		t.Errorf("report holds %d experiment headers, want 16", strings.Count(out, "== "))
 	}
 }
