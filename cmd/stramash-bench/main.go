@@ -10,7 +10,12 @@
 // Usage:
 //
 //	stramash-bench [-scale quick|full] [-only <id>] [-parallel N]
-//	               [-timeout d] [-timing] [-list]
+//	               [-timeout d] [-timing] [-list] [-json results.json]
+//
+// -json additionally writes a machine-readable report: per experiment the
+// simulated cycle counts and counters (deterministic across runs), the
+// host wall time, and any shape deviations or errors. Exit codes: 0 all
+// shape claims reproduced, 1 an experiment failed, 3 shape deviations.
 //
 // Experiment ids: table2, fig5-6-small, fig5-6-big, fig7-small, fig7-big,
 // fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14,
@@ -34,6 +39,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiments in flight (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	timing := flag.Bool("timing", false, "print per-experiment wall-clock timing to stderr")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON report to this file")
 	flag.Parse()
 
 	if *list {
@@ -77,14 +83,36 @@ func main() {
 	summary := experiments.Summarize(outcomes, wall)
 	fmt.Fprintln(os.Stderr, summary)
 
+	if *jsonOut != "" {
+		if err := writeJSONFile(*jsonOut, scale, outcomes, wall); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json report written to %s\n", *jsonOut)
+	}
+
 	deviations, err := experiments.Report(os.Stdout, outcomes)
-	if err != nil {
+	switch {
+	case err != nil:
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
-	}
-	if deviations > 0 {
+	case deviations > 0:
 		fmt.Printf("total shape deviations: %d\n", deviations)
-		os.Exit(3)
+	default:
+		fmt.Println("all shape checks reproduced")
 	}
-	fmt.Println("all shape checks reproduced")
+	os.Exit(experiments.ExitCode(deviations, err))
+}
+
+// writeJSONFile renders the -json report. It runs before Report so that a
+// failed experiment still leaves a file recording what completed.
+func writeJSONFile(path string, scale experiments.Scale, outcomes []experiments.Outcome, wall time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteJSON(f, experiments.BuildJSONReport(scale, outcomes, wall)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

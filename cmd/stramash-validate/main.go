@@ -7,6 +7,9 @@
 // pool; the stdout report is rendered in suite order and is byte-identical
 // at any -parallel setting.
 //
+// Exit codes: 0 when the validation reproduces, 1 when an experiment fails
+// to run, 3 when it runs but shape deviations are found. CI gates on this.
+//
 // Usage:
 //
 //	stramash-validate [-scale quick|full] [-parallel N]
@@ -16,11 +19,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// validationIDs is the §9.1 suite, in report order.
+var validationIDs = []string{"table2", "fig5-6-small", "fig5-6-big", "fig7-small", "fig7-big", "fig8"}
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
@@ -33,7 +40,7 @@ func main() {
 	}
 
 	var specs []experiments.Spec
-	for _, id := range []string{"table2", "fig5-6-small", "fig5-6-big", "fig7-small", "fig7-big", "fig8"} {
+	for _, id := range validationIDs {
 		spec, ok := experiments.Find(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
@@ -42,19 +49,26 @@ func main() {
 		specs = append(specs, spec)
 	}
 
+	os.Exit(run(specs, scale, *parallel, os.Stdout, os.Stderr))
+}
+
+// run executes the suite and returns the process exit code. It is the
+// whole command minus flag parsing, so tests can assert the exit behaviour
+// with injected specs.
+func run(specs []experiments.Spec, scale experiments.Scale, parallel int, stdout, stderr io.Writer) int {
 	start := time.Now()
 	outcomes := experiments.RunPool(context.Background(), specs, scale,
-		experiments.PoolOptions{Parallelism: *parallel})
-	fmt.Fprintln(os.Stderr, experiments.Summarize(outcomes, time.Since(start)))
+		experiments.PoolOptions{Parallelism: parallel})
+	fmt.Fprintln(stderr, experiments.Summarize(outcomes, time.Since(start)))
 
-	deviations, err := experiments.Report(os.Stdout, outcomes)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+	deviations, err := experiments.Report(stdout, outcomes)
+	switch {
+	case err != nil:
+		fmt.Fprintf(stderr, "error: %v\n", err)
+	case deviations > 0:
+		fmt.Fprintf(stdout, "validation finished with %d shape deviation(s)\n", deviations)
+	default:
+		fmt.Fprintln(stdout, "simulator validation reproduced")
 	}
-	if deviations > 0 {
-		fmt.Printf("validation finished with %d shape deviation(s)\n", deviations)
-		os.Exit(3)
-	}
-	fmt.Println("simulator validation reproduced")
+	return experiments.ExitCode(deviations, err)
 }

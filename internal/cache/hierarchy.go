@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // lineAddr is a physical address divided by the line size.
@@ -139,6 +140,18 @@ type Hierarchy struct {
 	// Figure 8 validation uses it to replay the identical reference stream
 	// through the independent gem5-style model.
 	Tap func(node mem.NodeID, core int, kind Kind, addr mem.PhysAddr, size int)
+
+	// Tracer, when non-nil, receives coherence and memory-miss events
+	// (snoop invalidations, snoop data forwards, accesses that reach
+	// memory). The L1-hit fast path performs no tracer check at all; the
+	// snoop and miss paths each perform one nil check.
+	Tracer trace.Tracer
+	// ctxCycle/ctxTid carry the accessing thread's clock and id into the
+	// line-level simulation for event timestamps. Set via TraceContext by
+	// the Port layer before Access; safe as plain fields because the sim
+	// engine serializes all simulated execution on one token.
+	ctxCycle int64
+	ctxTid   int32
 }
 
 // NewHierarchy builds the cache model for the given configuration and
@@ -174,6 +187,14 @@ func (h *Hierarchy) ResetStats() {
 	for _, nc := range h.nodes {
 		nc.stats = Stats{}
 	}
+}
+
+// TraceContext records the accessing thread's current cycle and id so
+// that events emitted from the next Access carry them. Callers only need
+// to do this when a tracer is installed.
+func (h *Hierarchy) TraceContext(cycle int64, tid int32) {
+	h.ctxCycle = cycle
+	h.ctxTid = tid
 }
 
 // entry returns the directory entry for a line, creating it as uncached.
@@ -228,6 +249,11 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			st.SnoopInvalidations++
 			h.nodes[other].stats.BackInvalidations++
 			st.CoherenceLatency += h.cfg.CrossNode.Invalidate
+			if tr := h.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: h.ctxCycle, Kind: trace.KindSnoopInvalidate,
+					Node: int8(node), Core: int16(core), Tid: h.ctxTid,
+					PA: uint64(ln) * mem.LineSize, Cost: int64(h.cfg.CrossNode.Invalidate)})
+			}
 		}
 		e.holders[node] = true
 		e.owner = node
@@ -240,6 +266,11 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			st.CoherenceLatency += h.cfg.CrossNode.Data
 			e.owner = -1
 			e.modified = false
+			if tr := h.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: h.ctxCycle, Kind: trace.KindSnoopData,
+					Node: int8(node), Core: int16(core), Tid: h.ctxTid,
+					PA: uint64(ln) * mem.LineSize, Cost: int64(h.cfg.CrossNode.Data)})
+			}
 		}
 		wasCached := e.holders[0] || e.holders[1]
 		e.holders[node] = true
@@ -317,17 +348,28 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 	// Memory access.
 	pa := mem.PhysAddr(ln) * mem.LineSize
 	loc := h.layout.Classify(mem.NodeID(node), pa)
+	var memLat sim.Cycles
 	if loc == mem.Local {
 		st.LocalMemHits++
-		cost += lat.Mem
+		memLat = lat.Mem
 		st.LocalMemLatency += lat.Mem
 	} else {
 		st.RemoteMemHits++
-		cost += lat.RemoteMem
+		memLat = lat.RemoteMem
 		st.RemoteMemLatency += lat.RemoteMem
 		if r := h.layout.RegionAt(pa); r != nil && r.Owner == mem.NodeNone {
 			st.RemoteSharedHits++
 		}
+	}
+	cost += memLat
+	if tr := h.Tracer; tr != nil {
+		remote := int64(0)
+		if loc != mem.Local {
+			remote = 1
+		}
+		tr.Emit(trace.Event{Cycle: h.ctxCycle, Kind: trace.KindMemAccess,
+			Node: int8(node), Core: int16(core), Tid: h.ctxTid,
+			PA: uint64(pa), Arg: remote, Cost: int64(memLat)})
 	}
 
 	// Fill the whole hierarchy (inclusive).

@@ -1,0 +1,93 @@
+package cache
+
+// Guards for the tracing subsystem's zero-overhead-when-disabled contract:
+// the nil-tracer hot path must not allocate, and installing a tracer must
+// not change any simulated latency (tracing observes, never perturbs).
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestNilTracerHitPathZeroAllocs pins the L1-hit fast path to zero heap
+// allocations with tracing disabled — the subsystem's headline contract.
+func TestNilTracerHitPathZeroAllocs(t *testing.T) {
+	h := newTestHierarchy(mem.Separated)
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8) // warm the line
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("warm L1 hit allocates %.1f objects/op with nil tracer, want 0", allocs)
+	}
+}
+
+// TestTracerDoesNotChangeLatency replays an identical access stream —
+// cold misses, warm hits, cross-node snoops on both the read and write
+// paths — through a traced and an untraced hierarchy and demands equal
+// latency for every single access.
+func TestTracerDoesNotChangeLatency(t *testing.T) {
+	plain := newTestHierarchy(mem.Shared)
+	traced := newTestHierarchy(mem.Shared)
+	buf := trace.NewBuffer()
+	traced.Tracer = buf
+
+	type access struct {
+		node mem.NodeID
+		kind Kind
+		addr mem.PhysAddr
+	}
+	pool := mem.PhysAddr(5 << 30)
+	stream := []access{
+		{mem.NodeX86, Read, 0x1000},  // cold local miss
+		{mem.NodeX86, Read, 0x1000},  // warm L1 hit
+		{mem.NodeX86, Write, 0x1000}, // warm write
+		{mem.NodeX86, Read, pool},    // shared-pool miss
+		{mem.NodeArm, Read, pool},    // snoop data forward
+		{mem.NodeArm, Write, pool},   // snoop invalidate
+		{mem.NodeX86, Read, pool},    // re-fetch after invalidate
+		{mem.NodeArm, Ifetch, pool + 64},
+	}
+	for i, a := range stream {
+		traced.TraceContext(int64(i), 7)
+		cp := plain.Access(a.node, 0, a.kind, a.addr, 8)
+		ct := traced.Access(a.node, 0, a.kind, a.addr, 8)
+		if cp != ct {
+			t.Errorf("access %d (%v %v %#x): untraced %d cycles, traced %d", i, a.node, a.kind, a.addr, cp, ct)
+		}
+	}
+	if plain.Stats(mem.NodeX86) != traced.Stats(mem.NodeX86) ||
+		plain.Stats(mem.NodeArm) != traced.Stats(mem.NodeArm) {
+		t.Error("stats diverged between traced and untraced hierarchies")
+	}
+	if buf.Len() == 0 {
+		t.Error("traced run recorded no events despite snoops and misses")
+	}
+}
+
+// benchAccess is the shared body of the hot-path benchmarks: a warm L1
+// hit, the most frequent operation in any simulation.
+func benchAccess(b *testing.B, tracer trace.Tracer) {
+	h := newTestHierarchy(mem.Separated)
+	h.Tracer = tracer
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	var sink sim.Cycles
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	}
+	_ = sink
+}
+
+// BenchmarkAccessHitNilTracer measures the warm-hit path with tracing
+// disabled; compare against BenchmarkAccessHitWithTracer to see the cost
+// of an installed tracer (the nil-check itself is free on this path —
+// L1 hits emit nothing).
+func BenchmarkAccessHitNilTracer(b *testing.B) { benchAccess(b, nil) }
+
+// BenchmarkAccessHitWithTracer measures the same path with a live buffer.
+func BenchmarkAccessHitWithTracer(b *testing.B) { benchAccess(b, trace.NewBuffer()) }

@@ -1,0 +1,175 @@
+package experiments
+
+import "fmt"
+
+// This file implements CycleMetrics on every experiment result: the flat
+// key → int64 export behind stramash-bench -json. Keys are path-like
+// ("cycles/IS/Popcorn-SHM") and depend only on the experiment's own
+// parameters, so two runs of the same experiment produce the same key set
+// and — the simulator being deterministic — the same values. Fractional
+// quantities are scaled to integers (µs ×1000 = ns, rates ×10000 = basis
+// points) rather than exported as floats.
+
+// Metrics implements CycleMetrics: the configured latency table.
+func (r *Table2Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		m["lat/"+row.Core+"/l1"] = int64(row.Lat.L1)
+		m["lat/"+row.Core+"/l2"] = int64(row.Lat.L2)
+		m["lat/"+row.Core+"/l3"] = int64(row.Lat.L3)
+		m["lat/"+row.Core+"/mem"] = int64(row.Lat.Mem)
+		m["lat/"+row.Core+"/remote_mem"] = int64(row.Lat.RemoteMem)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: per-side IPI latency in nanoseconds.
+func (r *IPIResult) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	sides := [2]string{"x86", "arm"}
+	for side, st := range r.Stats {
+		base := "ipi_ns/" + r.Pair.Name + "/" + sides[side]
+		m[base+"/mean"] = int64(st.MeanMicros * 1000)
+		m[base+"/min"] = int64(st.MinMicros * 1000)
+		m[base+"/max"] = int64(st.MaxMicros * 1000)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: native vs estimated cycles per point.
+func (r *ICountResult) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := "icount/" + row.Benchmark + "/" + row.OS
+		m[base+"/native_cycles"] = row.NativeCycles
+		m[base+"/est_cycles"] = row.EstCycles
+	}
+	m["icount/mean_err_bp"] = int64(r.MeanErr * 10000)
+	m["icount/max_err_bp"] = int64(r.MaxErr * 10000)
+	return m
+}
+
+// Metrics implements CycleMetrics: per-level hit rates in basis points.
+func (r *CacheValResult) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := "hitrate_bp/" + row.Benchmark + "/" + row.Level
+		m[base+"/plugin"] = int64(row.PluginRate * 10000)
+		m[base+"/ref"] = int64(row.RefRate * 10000)
+	}
+	m["hitrate_bp/max_diff"] = int64(r.MaxDiff * 10000)
+	return m
+}
+
+// Metrics implements CycleMetrics: messages and replicated pages.
+func (r *Table3Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		m["messages/"+row.Benchmark+"/popcorn"] = row.PopcornMessages
+		m["messages/"+row.Benchmark+"/stramash"] = row.StramashMessages
+		m["pages/"+row.Benchmark+"/popcorn"] = row.PopcornPages
+		m["pages/"+row.Benchmark+"/stramash"] = row.StramashPages
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: allocator costs in nanoseconds.
+func (r *Table4Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := fmt.Sprintf("alloc_ns/%d", row.Pages)
+		m[base+"/x86_offline"] = int64(row.X86Offline * 1e6)
+		m[base+"/x86_online"] = int64(row.X86Online * 1e6)
+		m[base+"/arm_offline"] = int64(row.ArmOffline * 1e6)
+		m[base+"/arm_online"] = int64(row.ArmOnline * 1e6)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: the benchmark × config cycle grid.
+func (r *Figure9Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, c := range r.Cells {
+		m["cycles/"+c.Benchmark+"/"+c.Config] = int64(c.Cycles)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: both grids, prefixed by L3 size.
+func (r *Figure10Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for prefix, grid := range map[string]*Figure9Result{"small_l3": r.Small, "large_l3": r.Large} {
+		if grid == nil {
+			continue
+		}
+		for _, c := range grid.Cells {
+			m["cycles/"+prefix+"/"+c.Benchmark+"/"+c.Config] = int64(c.Cycles)
+		}
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: scenario × system access costs.
+func (r *Figure11Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, c := range r.Cells {
+		m["cycles/"+c.Scenario+"/"+c.System] = int64(c.Cycles)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: per-page costs at each granularity.
+func (r *Figure12Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := fmt.Sprintf("cycles_per_page/%d_lines", row.Lines)
+		m[base+"/dsm"] = int64(row.DSMPerPage)
+		m[base+"/hw"] = int64(row.HWPerPage)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: futex costs per loop count.
+func (r *Figure13Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := fmt.Sprintf("cycles/%d_loops", row.Loops)
+		m[base+"/optimized"] = int64(row.OptimizedCycles)
+		m[base+"/regular"] = int64(row.RegularCycles)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: per-request costs per Redis command.
+func (r *Figure14Result) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := "cycles_per_req/" + row.Command
+		m[base+"/tcp"] = int64(row.TCP)
+		m[base+"/shm"] = int64(row.SHM)
+		m[base+"/stramash"] = int64(row.Stramash)
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: the ablation's cost/message deltas.
+func (r *RemoteAllocResult) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		base := "cycles/" + row.Benchmark
+		m[base+"/with"] = int64(row.WithCycles)
+		m[base+"/without"] = int64(row.WithoutCycles)
+		m["messages/"+row.Benchmark+"/with"] = row.Messages[0]
+		m["messages/"+row.Benchmark+"/without"] = row.Messages[1]
+	}
+	return m
+}
+
+// Metrics implements CycleMetrics: wake latency per IPI setting.
+func (r *IPISensitivityResult) Metrics() map[string]int64 {
+	m := make(map[string]int64)
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("wake_cycles/ipi_%dns", int64(row.IPIMicros*1000))] = int64(row.Cycles)
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package experiments
+
+// Golden tests for the tracing subsystem at the experiment level. The
+// contract under test is twofold: (1) tracing is observer-effect-free —
+// simulated cycle counts are identical with a tracer installed and
+// without — and (2) the recorded event stream is deterministic — a traced
+// run inside the parallel pool produces a byte-identical trace to the
+// same run executed sequentially.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/microbench"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tracedFutexRun executes the Figure 13 futex ping-pong on a fresh
+// Stramash machine, optionally traced.
+func tracedFutexRun(loops int, traced bool) (sim.Cycles, *trace.Buffer, error) {
+	cfg := machine.Config{Model: mem.Shared, OS: machine.StramashOS}
+	var buf *trace.Buffer
+	if traced {
+		buf = trace.NewBuffer()
+		cfg.Tracer = buf
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := microbench.RunFutexPingPong(m, loops)
+	return res.Cycles, buf, err
+}
+
+// TestTracedCyclesEqualUntraced runs the futex experiment and an NPB
+// benchmark with and without a tracer and demands identical simulated
+// cycle counts — events record the simulation, they never advance it.
+func TestTracedCyclesEqualUntraced(t *testing.T) {
+	plainCycles, _, err := tracedFutexRun(30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedCycles, buf, err := tracedFutexRun(30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainCycles != tracedCycles {
+		t.Errorf("futex: untraced %d cycles, traced %d — tracing perturbed timing", plainCycles, tracedCycles)
+	}
+	if buf.Len() == 0 {
+		t.Error("traced futex run recorded no events")
+	}
+
+	runIS := func(tracer trace.Tracer) sim.Cycles {
+		m, err := machine.New(machine.Config{Model: mem.Shared, OS: machine.StramashOS, Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, _, err := runBenchmark(m, "IS", Quick.class(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	isBuf := trace.NewBuffer()
+	plainIS, tracedIS := runIS(nil), runIS(isBuf)
+	if plainIS != tracedIS {
+		t.Errorf("IS: untraced %d cycles, traced %d — tracing perturbed timing", plainIS, tracedIS)
+	}
+	if isBuf.Len() == 0 {
+		t.Error("traced IS run recorded no events")
+	}
+}
+
+// TestTraceGoldenSequentialVsPool records the futex experiment's trace
+// once sequentially, then three more times concurrently inside RunPool,
+// and demands every pool-recorded trace be byte-identical to the
+// sequential reference. Each run owns a private machine and buffer — the
+// pool's concurrency must not leak into the simulated event stream.
+func TestTraceGoldenSequentialVsPool(t *testing.T) {
+	const loops = 30
+	refCycles, ref, err := tracedFutexRun(loops, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refText := ref.Text()
+	if refText == "" {
+		t.Fatal("sequential reference trace is empty")
+	}
+
+	const runs = 3
+	texts := make([]string, runs)
+	cycles := make([]sim.Cycles, runs)
+	specs := make([]Spec, runs)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{ID: fmt.Sprintf("traced-futex-%d", i), Run: func(Scale) (Result, error) {
+			c, buf, err := tracedFutexRun(loops, true)
+			if err != nil {
+				return nil, err
+			}
+			cycles[i] = c
+			texts[i] = buf.Text()
+			return fakeResult{name: "traced futex", body: "ok\n"}, nil
+		}}
+	}
+	outcomes := RunPool(context.Background(), specs, Quick, PoolOptions{Parallelism: runs})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	for i := 0; i < runs; i++ {
+		if cycles[i] != refCycles {
+			t.Errorf("pool run %d: %d cycles, sequential reference %d", i, cycles[i], refCycles)
+		}
+		if texts[i] != refText {
+			t.Errorf("pool run %d: trace differs from sequential reference (%d vs %d bytes)",
+				i, len(texts[i]), len(refText))
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config describes the hardware platform.
@@ -29,6 +30,10 @@ type Config struct {
 	// and the gap between the two is precisely what the Figure 7 icount
 	// validation quantifies.
 	CPI [2]float64
+	// Tracer, when non-nil, receives structured events from every layer of
+	// the platform (scheduler, caches, IPIs, and the software stacks built
+	// on top). nil disables tracing at zero cost.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the §9.2 evaluation platform for a memory model.
@@ -53,6 +58,9 @@ type Platform struct {
 	Engine *sim.Engine
 	Phys   *mem.Physical
 	Caches *cache.Hierarchy
+	// Tracer mirrors Cfg.Tracer for cheap access from the software layers
+	// (kernel, popcorn, stramash, interconnect).
+	Tracer trace.Tracer
 
 	ipiHandlers map[ipiKey]func(when sim.Cycles)
 	ipiCount    [2]int64
@@ -77,13 +85,20 @@ func NewPlatform(cfg Config) *Platform {
 	}
 	layout := mem.DefaultLayout(cfg.Model)
 	phys := mem.NewPhysical(layout)
-	return &Platform{
+	p := &Platform{
 		Cfg:         cfg,
 		Engine:      sim.NewEngine(),
 		Phys:        phys,
 		Caches:      cache.NewHierarchy(cfg.Cache, phys.Layout()),
+		Tracer:      cfg.Tracer,
 		ipiHandlers: make(map[ipiKey]func(when sim.Cycles)),
 	}
+	p.Engine.Tracer = cfg.Tracer
+	p.Caches.Tracer = cfg.Tracer
+	if cs, ok := cfg.Tracer.(trace.ClockSetter); ok {
+		cs.SetClockHz(cfg.ClockHz)
+	}
+	return p
 }
 
 // Clock returns the cycle clock of node n.
@@ -110,6 +125,10 @@ func (p *Platform) SendIPI(t *sim.Thread, to mem.NodeID, core int) {
 	t.Advance(sendCost)
 	p.ipiCount[to]++
 	lat := p.Clock(to).FromMicros(p.Cfg.IPIMicros)
+	if tr := p.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.Now()), Kind: trace.KindDoorbell,
+			Node: int8(to), Core: int16(core), Tid: int32(t.ID), Arg: int64(to)})
+	}
 	h := p.ipiHandlers[ipiKey{to, core}]
 	if h == nil {
 		// Undelivered IPIs are legal (core may be polling instead).
@@ -139,6 +158,9 @@ func (p *Platform) NewPort(node mem.NodeID, core int, t *sim.Thread) *Port {
 
 // charge pushes one access through the cache model and advances the clock.
 func (pt *Port) charge(kind cache.Kind, addr mem.PhysAddr, size int) {
+	if pt.Plat.Tracer != nil {
+		pt.Plat.Caches.TraceContext(int64(pt.T.Now()), int32(pt.T.ID))
+	}
 	lat := pt.Plat.Caches.Access(pt.Node, pt.Core, kind, addr, size)
 	pt.T.Advance(lat)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Mode selects the inter-kernel message transport.
@@ -133,6 +134,11 @@ func (m *Messenger) Send(pt *hw.Port, payload []byte) {
 	dst := mem.NodeID(1 - int(src))
 	m.stats.MessagesSent[src]++
 	m.stats.BytesSent[src] += int64(len(payload))
+	if tr := m.plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindMsgSend,
+			Node: int8(src), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+			Arg: int64(len(payload))})
+	}
 
 	switch m.cfg.Mode {
 	case SHM:
@@ -220,6 +226,14 @@ func (m *Messenger) RecvAll(pt *hw.Port, total int) []byte {
 func (m *Messenger) RPC(pt *hw.Port, handler func(remote *hw.Port, req []byte) []byte, req []byte) []byte {
 	m.acquire(pt)
 	defer m.release()
+	rpcStart := pt.T.Now()
+	defer func() {
+		if tr := m.plat.Tracer; tr != nil {
+			tr.Emit(trace.Event{Cycle: int64(rpcStart), Kind: trace.KindRPC,
+				Node: int8(pt.Node), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+				Arg: int64(len(req)), Cost: int64(pt.T.Now() - rpcStart)})
+		}
+	}()
 	m.Send(pt, req)
 
 	// Delivery latency for the request to be noticed by the remote kernel.
@@ -255,6 +269,14 @@ func (m *Messenger) RPC(pt *hw.Port, handler func(remote *hw.Port, req []byte) [
 func (m *Messenger) Notify(pt *hw.Port, payload []byte) {
 	m.acquire(pt)
 	defer m.release()
+	notifyStart := pt.T.Now()
+	defer func() {
+		if tr := m.plat.Tracer; tr != nil {
+			tr.Emit(trace.Event{Cycle: int64(notifyStart), Kind: trace.KindNotify,
+				Node: int8(pt.Node), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+				Arg: int64(len(payload)), Cost: int64(pt.T.Now() - notifyStart)})
+		}
+	}()
 	m.Send(pt, payload)
 	dst := mem.NodeID(1 - int(pt.Node))
 	pt.T.Advance(m.plat.Clock(pt.Node).FromMicros(m.plat.Cfg.IPIMicros))

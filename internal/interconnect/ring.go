@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Ring is a single-producer single-consumer ring buffer living in simulated
@@ -95,6 +96,11 @@ func (r *Ring) Send(pt *hw.Port, payload []byte) bool {
 	pt.Write(slot, hdr[:])
 	pt.Write(slot+slotHeader, payload)
 	pt.Write64(r.Base+ringHeadOff, head+1)
+	if tr := pt.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindRingEnqueue,
+			Node: int8(pt.Node), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+			PA: uint64(slot), Arg: int64(len(payload))})
+	}
 	return true
 }
 
@@ -112,5 +118,10 @@ func (r *Ring) Recv(pt *hw.Port) ([]byte, bool) {
 	}
 	payload := pt.Read(slot+slotHeader, int(n))
 	pt.Write64(r.Base+ringTailOff, tail+1)
+	if tr := pt.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindRingDequeue,
+			Node: int8(pt.Node), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+			PA: uint64(slot), Arg: int64(n)})
+	}
 	return payload, true
 }

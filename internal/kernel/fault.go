@@ -7,6 +7,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // EnsureTable returns the process's page table for node, creating it from
@@ -187,7 +188,13 @@ func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) er
 	f.Enqueue(t.Port, t)
 	f.Unlock(t.Port)
 	t.Stats.FutexWaits++
+	blockStart := t.Th.Now()
 	t.Th.Block("futex")
+	if tr := v.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(uaddr), Cost: int64(t.Th.Now() - blockStart)})
+	}
 	return nil
 }
 
@@ -201,6 +208,11 @@ func (v *Vanilla) FutexWake(t *Task, uaddr pgtable.VirtAddr, n int) (int, error)
 		v.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+500)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
+	if tr := v.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.Th.Now()), Kind: trace.KindFutexWake,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(uaddr), Arg: int64(len(woken))})
+	}
 	return len(woken), nil
 }
 
@@ -247,6 +259,11 @@ func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(me
 				}
 				freed[fr] = true
 				pt.T.Advance(AllocCost)
+				if tr := ctx.Plat.Tracer; tr != nil {
+					tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindPageFree,
+						Node: int8(own), Core: int16(pt.Core), Tid: int32(pt.T.ID),
+						VA: uint64(va), PA: uint64(fr)})
+				}
 			}
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Kernel is one kernel instance: the OS running on one node (one ISA).
@@ -97,6 +98,10 @@ func (k *Kernel) AllocZeroedPage(pt *hw.Port) (mem.PhysAddr, error) {
 	pa, err := k.Alloc.AllocPage()
 	if err != nil {
 		return 0, err
+	}
+	if tr := k.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindPageAlloc,
+			Node: int8(k.Node), Core: int16(pt.Core), Tid: int32(pt.T.ID), PA: uint64(pa)})
 	}
 	pt.ZeroPage(pa)
 	return pa, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // tlbEntry caches a virtual-to-physical translation on one node.
@@ -186,6 +187,15 @@ func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr))
 			return fmt.Errorf("kernel: fault at %#x (write=%v) on %v: %w", va, write, t.Node, err)
 		}
 		t.Stats.FaultCycles += t.Th.Now() - start
+		if tr := t.Ctx.Plat.Tracer; tr != nil {
+			wr := int64(0)
+			if write {
+				wr = 1
+			}
+			tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindPageFault,
+				Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+				VA: uint64(pva), Arg: wr, Cost: int64(t.Th.Now() - start)})
+		}
 	}
 	return fmt.Errorf("kernel: fault loop at %#x on %v", va, t.Node)
 }
@@ -305,6 +315,11 @@ func (t *Task) Migrate(to mem.NodeID) error {
 	}
 	t.Stats.Migrations++
 	t.Stats.MigrationCycles += t.Th.Now() - start
+	if tr := t.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindMigrate,
+			Node: int8(to), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			Arg: int64(to), Cost: int64(t.Th.Now() - start)})
+	}
 	return nil
 }
 
@@ -397,6 +412,9 @@ func (b *Bus) Migrate(id int) {
 // Touch charges a single cache access of the given kind without data
 // movement; used by OS code modelling structure walks.
 func (t *Task) Touch(kind cache.Kind, pa mem.PhysAddr, size int) {
+	if t.Ctx.Plat.Tracer != nil {
+		t.Ctx.Plat.Caches.TraceContext(int64(t.Th.Now()), int32(t.Th.ID))
+	}
 	lat := t.Ctx.Plat.Caches.Access(t.Node, t.Core, kind, pa, size)
 	t.Th.Advance(lat)
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/popcorn"
 	"repro/internal/sim"
 	"repro/internal/stramash"
+	"repro/internal/trace"
 )
 
 // OSKind selects the operating-system personality (the bars of Figure 9).
@@ -83,6 +84,12 @@ type Config struct {
 	// disables that node's L3, like the A72 SmartNIC). Takes precedence
 	// over L3Size.
 	L3PerNode *[2]int
+	// Tracer, when non-nil, receives cycle-timestamped structured events
+	// from every layer of the machine (scheduler, caches, kernels, OS
+	// personality, messaging). Tracing is observation-only: cycle counts
+	// are identical with and without a tracer. nil disables tracing with
+	// zero overhead beyond one nil check per emit site.
+	Tracer trace.Tracer
 }
 
 // reservedLow is the per-node reservation for kernel image, memmap, and
@@ -134,6 +141,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ClockHz[0] != 0 {
 		hwCfg.ClockHz = cfg.ClockHz
 	}
+	hwCfg.Tracer = cfg.Tracer
 	plat := hw.NewPlatform(hwCfg)
 
 	m := &Machine{Cfg: cfg, Plat: plat, procs: make(map[string]*kernel.Process)}

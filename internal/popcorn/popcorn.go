@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // Stats counts the baseline's cross-kernel activity.
@@ -72,6 +73,15 @@ func (o *OS) lockPage(t *kernel.Task, va pgtable.VirtAddr) pageKey {
 }
 
 func (o *OS) unlockPage(k pageKey) { delete(o.pageBusy, k) }
+
+// emit sends a DSM protocol event with the task's context filled in.
+func (o *OS) emit(t *kernel.Task, kind trace.Kind, va pgtable.VirtAddr, arg int64) {
+	if tr := o.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.Th.Now()), Kind: kind,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(va), Arg: arg})
+	}
+}
 
 var _ kernel.OS = (*OS)(nil)
 
@@ -177,6 +187,7 @@ func (o *OS) HandleFault(t *kernel.Task, va pgtable.VirtAddr, write bool) error 
 				return resp
 			}, req(opVMAFetch, proc.PID, va, 0))
 			o.vmaReplicated[proc.PID][v.Start] = true
+			o.emit(t, trace.KindVMAFetch, v.Start, 0)
 		}
 	}
 	if _, err := kernel.CheckVMA(proc, va, write); err != nil {
@@ -265,6 +276,11 @@ func (o *OS) faultAtRemote(t *kernel.Task, va pgtable.VirtAddr, write bool) erro
 	o.Stats.DSMPageRequests++
 	t.Stats.NodeInstructions[remote] += 2 * o.kinstrMsg()
 	t.Stats.NodeInstructions[origin] += kinstrPageServe
+	wr := int64(0)
+	if write {
+		wr = 1
+	}
+	o.emit(t, trace.KindDSMRequest, va, wr)
 
 	op := byte(opPageRead)
 	if write {
@@ -331,6 +347,7 @@ func (o *OS) faultAtRemote(t *kernel.Task, va pgtable.VirtAddr, write bool) erro
 		meta.Replications++
 		proc.ReplicatedPages++
 		o.Stats.PageReplications++
+		o.emit(t, trace.KindPageReplicate, va, int64(remote))
 	}
 	if write {
 		meta.DSM[remote] = kernel.DSMExclusive
@@ -368,6 +385,7 @@ func (o *OS) fetchPage(t *kernel.Task, va pgtable.VirtAddr, node mem.NodeID) err
 	meta.Replications++
 	proc.ReplicatedPages++
 	o.Stats.PageReplications++
+	o.emit(t, trace.KindPageReplicate, va, int64(node))
 	return nil
 }
 
@@ -379,6 +397,7 @@ func (o *OS) invalidateRemoteCopy(t *kernel.Task, va pgtable.VirtAddr, node mem.
 	o.Stats.DSMInvalidations++
 	proc.InvalidationsDSM++
 	t.Stats.NodeInstructions[t.Node] += 2 * o.kinstrMsg()
+	o.emit(t, trace.KindDSMInvalidate, va, int64(node))
 	o.Msgr.RPC(t.Port, func(remotePt *hw.Port, r []byte) []byte {
 		if meta.Valid[node] {
 			kernel.UnmapFrame(remotePt, proc, node, va)
@@ -455,6 +474,7 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 		f.Unlock(t.Port)
 	} else {
 		o.Stats.FutexRPCs++
+		o.emit(t, trace.KindFutexRPC, uaddr, 0)
 		o.Msgr.RPC(t.Port, func(originPt *hw.Port, r []byte) []byte {
 			f.Lock(originPt)
 			val, err := kernel.FutexLoadValue(o.Ctx, originPt, t.Proc, uaddr)
@@ -474,7 +494,13 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 		}
 	}
 	t.Stats.FutexWaits++
+	blockStart := t.Th.Now()
 	t.Th.Block("futex")
+	if tr := o.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(uaddr), Cost: int64(t.Th.Now() - blockStart)})
+	}
 	return nil
 }
 
@@ -489,6 +515,7 @@ func (o *OS) FutexWake(t *kernel.Task, uaddr pgtable.VirtAddr, n int) (int, erro
 		f.Unlock(t.Port)
 	} else {
 		o.Stats.FutexRPCs++
+		o.emit(t, trace.KindFutexRPC, uaddr, 1)
 		o.Msgr.RPC(t.Port, func(originPt *hw.Port, r []byte) []byte {
 			f.Lock(originPt)
 			woken = f.Dequeue(originPt, n)
@@ -506,6 +533,7 @@ func (o *OS) FutexWake(t *kernel.Task, uaddr pgtable.VirtAddr, n int) (int, erro
 		o.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+wakeLat)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
+	o.emit(t, trace.KindFutexWake, uaddr, int64(len(woken)))
 	return len(woken), nil
 }
 

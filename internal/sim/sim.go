@@ -13,6 +13,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Cycles is a duration or point in simulated time, measured in CPU cycles of
@@ -182,6 +184,10 @@ func (t *Thread) Block(reason string) {
 		t.wakePending = false
 		return
 	}
+	if tr := t.eng.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.now), Kind: trace.KindThreadBlock,
+			Tid: int32(t.ID), Node: -1, Name: reason})
+	}
 	t.blockReason = reason
 	t.sinceYield = 0
 	t.state = stateBlocked
@@ -199,13 +205,19 @@ type Engine struct {
 	// workloads that synchronize through explicit YieldPoints.
 	Quantum Cycles
 
+	// Tracer, when non-nil, receives thread lifecycle events (spawn,
+	// context switch, block, wake, done). Emitting never advances any
+	// simulated clock, so tracing cannot perturb the schedule.
+	Tracer trace.Tracer
+
 	threads []*Thread
+	lastRun ThreadID
 	running bool
 }
 
 // NewEngine returns an engine with the default scheduling quantum.
 func NewEngine() *Engine {
-	return &Engine{Quantum: 20000}
+	return &Engine{Quantum: 20000, lastRun: -1}
 }
 
 // Spawn creates a new simulated thread executing body. The thread's local
@@ -222,6 +234,10 @@ func (e *Engine) Spawn(name string, start Cycles, body func(t *Thread)) *Thread 
 		yield:  make(chan struct{}),
 	}
 	e.threads = append(e.threads, t)
+	if tr := e.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindThreadSpawn,
+			Tid: int32(t.ID), Node: -1, Name: name})
+	}
 	go func() {
 		<-t.resume
 		t.state = stateRunning
@@ -230,6 +246,10 @@ func (e *Engine) Spawn(name string, start Cycles, body func(t *Thread)) *Thread 
 				t.err = fmt.Errorf("sim: thread %q panicked: %v", t.Name, r)
 			}
 			t.state = stateDone
+			if tr := e.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: int64(t.now), Kind: trace.KindThreadDone,
+					Tid: int32(t.ID), Node: -1, Name: t.Name})
+			}
 			t.yield <- struct{}{}
 		}()
 		body(t)
@@ -245,6 +265,10 @@ func (e *Engine) Spawn(name string, start Cycles, body func(t *Thread)) *Thread 
 func (e *Engine) Wake(t *Thread, when Cycles) {
 	if t.now < when {
 		t.now = when
+	}
+	if tr := e.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.now), Kind: trace.KindThreadWake,
+			Tid: int32(t.ID), Node: -1, Name: t.Name})
 	}
 	if t.state == stateBlocked {
 		t.state = stateRunnable
@@ -271,6 +295,11 @@ func (e *Engine) Run() error {
 			}
 			return e.deadlockErr()
 		}
+		if tr := e.Tracer; tr != nil && next.ID != e.lastRun {
+			tr.Emit(trace.Event{Cycle: int64(next.now), Kind: trace.KindThreadSwitch,
+				Tid: int32(next.ID), Node: -1, Name: next.Name})
+		}
+		e.lastRun = next.ID
 		next.resume <- struct{}{}
 		<-next.yield
 		if next.err != nil {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // Stats counts fused-kernel mechanism activity.
@@ -107,12 +108,27 @@ func (o *OS) CreateProcess(pt *hw.Port, origin mem.NodeID) (*kernel.Process, err
 	return proc, nil
 }
 
+// emit sends a fused-mechanism event with the task's context filled in.
+func (o *OS) emit(t *kernel.Task, kind trace.Kind, va pgtable.VirtAddr, arg int64) {
+	if tr := o.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(t.Th.Now()), Kind: kind,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(va), Arg: arg})
+	}
+}
+
 // lockPTL acquires the cross-ISA page table lock (Stramash-PTL, §6.4).
 func (o *OS) lockPTL(t *kernel.Task) {
 	addr := o.ptl[t.Proc.PID]
+	start := t.Th.Now()
 	for i := 0; ; i++ {
 		if _, ok := t.Port.CompareAndSwap64(addr, 0, uint64(t.Node)+1); ok {
 			o.Stats.PTLAcquisitions++
+			if tr := o.Ctx.Plat.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindPTLAcquire,
+					Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+					PA: uint64(addr), Cost: int64(t.Th.Now() - start)})
+			}
 			return
 		}
 		t.Th.Advance(60)
@@ -134,6 +150,10 @@ func (o *OS) allocNear(pt *hw.Port, node mem.NodeID) (mem.PhysAddr, error) {
 	if k.Alloc.Pressure() > o.Global.Cfg.PressureThreshold {
 		if err := o.Global.RequestBlock(pt, node); err == nil {
 			o.Stats.GlobalBlockMoves++
+			if tr := o.Ctx.Plat.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindGlobalBlockMove,
+					Node: int8(node), Core: int16(pt.Core), Tid: int32(pt.T.ID), Arg: int64(node)})
+			}
 		}
 		// A failed request is not fatal while free pages remain.
 	}
@@ -246,6 +266,7 @@ func (o *OS) HandleFault(t *kernel.Task, va pgtable.VirtAddr, write bool) error 
 		pgtable.Perms{Present: true, User: true, Write: true, Accessed: true})
 	t.Port.Write64(ea, entry)
 	o.Stats.RemotePTWrites++
+	o.emit(t, trace.KindRemotePTWrite, va, int64(origin))
 	meta.Frames[origin] = frame
 	meta.Valid[origin] = true
 	meta.FrameOwner[origin] = node
@@ -271,6 +292,7 @@ func (o *OS) originHandlesFault(t *kernel.Task, va pgtable.VirtAddr) error {
 	node := t.Node
 	o.Stats.OriginHandled++
 	proc.OriginHandled++
+	o.emit(t, trace.KindOriginFault, va, 0)
 	t.Stats.NodeInstructions[node] += 40
 	t.Stats.NodeInstructions[origin] += 80
 	var frame mem.PhysAddr
@@ -343,7 +365,13 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 	f.Enqueue(t.Port, t)
 	f.Unlock(t.Port)
 	t.Stats.FutexWaits++
+	blockStart := t.Th.Now()
 	t.Th.Block("futex")
+	if tr := o.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			VA: uint64(uaddr), Cost: int64(t.Th.Now() - blockStart)})
+	}
 	return nil
 }
 
@@ -358,11 +386,13 @@ func (o *OS) FutexWake(t *kernel.Task, uaddr pgtable.VirtAddr, n int) (int, erro
 		if w.Node != t.Node {
 			o.Ctx.Plat.SendIPI(t.Th, w.Node, w.Core)
 			o.Stats.CrossISAIPIWakes++
+			o.emit(t, trace.KindIPIWake, uaddr, int64(w.Node))
 		}
 		wakeLat := o.Ctx.Plat.Clock(w.Node).FromMicros(o.Ctx.Plat.Cfg.IPIMicros)
 		o.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+wakeLat)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
+	o.emit(t, trace.KindFutexWake, uaddr, int64(len(woken)))
 	return len(woken), nil
 }
 

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class buckets event kinds for the per-class cycle-attribution report —
+// the reproduction's answer to the paper's §9 "where do the cycles go"
+// analysis: fault handling vs. coherence vs. messaging vs. synchronization
+// vs. raw memory, with user compute as the residual.
+type Class uint8
+
+const (
+	ClassCompute   Class = iota // residual: busy cycles not claimed by any OS span
+	ClassFault                  // page-fault resolution and task migration
+	ClassMessaging              // cross-kernel RPC and notification round trips
+	ClassSync                   // futex blocking and cross-ISA page-table lock spins
+	ClassCoherence              // CXL snoop invalidations and data forwards
+	ClassMemory                 // accesses that missed every cache level
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	ClassCompute:   "compute",
+	ClassFault:     "fault",
+	ClassMessaging: "messaging",
+	ClassSync:      "sync",
+	ClassCoherence: "coherence",
+	ClassMemory:    "memory",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// spanClass maps OS span kinds to their attribution class. Span costs are
+// wall-clock durations on the emitting thread's timeline, so nested spans
+// must be de-overlapped before summing (see Attribute).
+func spanClass(k Kind) (Class, bool) {
+	switch k {
+	case KindPageFault, KindMigrate:
+		return ClassFault, true
+	case KindRPC, KindNotify:
+		return ClassMessaging, true
+	case KindFutexWait, KindPTLAcquire:
+		return ClassSync, true
+	}
+	return 0, false
+}
+
+// componentClass maps additive hardware-latency kinds to their class.
+// These are pure latency components (each access charges them exactly
+// once), so they sum without de-overlapping — but they can occur *inside*
+// an OS span, so they are reported as a separate tier rather than
+// subtracted from span time.
+func componentClass(k Kind) (Class, bool) {
+	switch k {
+	case KindSnoopInvalidate, KindSnoopData:
+		return ClassCoherence, true
+	case KindMemAccess:
+		return ClassMemory, true
+	}
+	return 0, false
+}
+
+// Attribution is the per-class cycle breakdown computed from a trace.
+type Attribution struct {
+	// Spans holds exclusive cycles per OS class (fault/messaging/sync):
+	// nested spans are de-overlapped, so each cycle of a thread's timeline
+	// is claimed by at most one class and the classes sum to total
+	// OS-mediated time.
+	Spans [numClasses]int64
+	// Components holds additive hardware latency per class
+	// (coherence/memory). These cycles overlap the span tier: a remote
+	// memory access inside a page fault counts in both.
+	Components [numClasses]int64
+	// Counts tallies events per kind (spans and components).
+	Counts [numKinds]int64
+	// PerNode splits span-tier cycles by emitting node (index 2 holds
+	// events with Node < 0).
+	PerNode [3][numClasses]int64
+	// Busy is the sum of per-thread busy time (last event cycle minus
+	// first event cycle per tid), the denominator for the compute
+	// residual. It is a lower bound built from the trace alone.
+	Busy int64
+}
+
+// interval is one already-attributed span on a thread's timeline, kept so
+// a later-emitted enclosing span can subtract its inclusive duration.
+type interval struct {
+	start, end int64
+}
+
+// Attribute computes the per-class cycle breakdown for a recorded stream.
+//
+// Span events are emitted at span *end*, so within one thread an inner
+// span always precedes its enclosing span in the stream. The algorithm
+// keeps, per thread, the set of spans not yet claimed by a parent; a new
+// span claims (and removes) every unclaimed span it fully contains and
+// counts only the remaining exclusive cycles toward its class.
+func Attribute(events []Event) *Attribution {
+	a := &Attribution{}
+	open := make(map[int32][]interval)
+	firstSeen := make(map[int32]int64)
+	lastSeen := make(map[int32]int64)
+	for i := range events {
+		e := &events[i]
+		a.Counts[e.Kind]++
+		if e.Tid >= 0 {
+			if f, ok := firstSeen[e.Tid]; !ok || e.Cycle < f {
+				firstSeen[e.Tid] = e.Cycle
+			}
+			if end := e.Cycle + e.Cost; end > lastSeen[e.Tid] {
+				lastSeen[e.Tid] = end
+			}
+		}
+		if c, ok := componentClass(e.Kind); ok {
+			a.Components[c] += e.Cost
+			continue
+		}
+		c, ok := spanClass(e.Kind)
+		if !ok {
+			continue
+		}
+		start, end := e.Cycle, e.Cycle+e.Cost
+		exclusive := e.Cost
+		if e.Tid >= 0 {
+			kept := open[e.Tid][:0]
+			for _, iv := range open[e.Tid] {
+				if iv.start >= start && iv.end <= end {
+					exclusive -= iv.end - iv.start
+				} else {
+					kept = append(kept, iv)
+				}
+			}
+			open[e.Tid] = append(kept, interval{start, end})
+		}
+		if exclusive < 0 {
+			exclusive = 0
+		}
+		a.Spans[c] += exclusive
+		node := 2
+		if e.Node == 0 || e.Node == 1 {
+			node = int(e.Node)
+		}
+		a.PerNode[node][c] += exclusive
+	}
+	for tid, first := range firstSeen {
+		a.Busy += lastSeen[tid] - first
+	}
+	return a
+}
+
+// OSTotal returns the total OS-mediated cycles (the de-overlapped span
+// tier summed over fault, messaging, and sync).
+func (a *Attribution) OSTotal() int64 {
+	return a.Spans[ClassFault] + a.Spans[ClassMessaging] + a.Spans[ClassSync]
+}
+
+// Compute returns the compute residual: trace-observed busy time not
+// claimed by any OS span (clamped at zero).
+func (a *Attribution) Compute() int64 {
+	c := a.Busy - a.OSTotal()
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Render formats the attribution as the -trace-summary report.
+func (a *Attribution) Render() string {
+	var sb strings.Builder
+	pct := func(v int64) float64 {
+		if a.Busy == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(a.Busy)
+	}
+	fmt.Fprintf(&sb, "cycle attribution (busy=%d cycles across traced threads)\n", a.Busy)
+	fmt.Fprintf(&sb, "  %-12s %14s %7s   node0 / node1\n", "class", "cycles", "share")
+	row := func(c Class, v int64) {
+		fmt.Fprintf(&sb, "  %-12s %14d %6.1f%%   %d / %d\n",
+			c, v, pct(v), a.PerNode[0][c], a.PerNode[1][c])
+	}
+	row(ClassFault, a.Spans[ClassFault])
+	row(ClassMessaging, a.Spans[ClassMessaging])
+	row(ClassSync, a.Spans[ClassSync])
+	fmt.Fprintf(&sb, "  %-12s %14d %6.1f%%\n", ClassCompute, a.Compute(), pct(a.Compute()))
+	fmt.Fprintf(&sb, "  hardware components (overlap the classes above):\n")
+	fmt.Fprintf(&sb, "  %-12s %14d %6.1f%%\n", ClassCoherence, a.Components[ClassCoherence], pct(a.Components[ClassCoherence]))
+	fmt.Fprintf(&sb, "  %-12s %14d %6.1f%%\n", ClassMemory, a.Components[ClassMemory], pct(a.Components[ClassMemory]))
+	sb.WriteString("  event counts:\n")
+	type kc struct {
+		k Kind
+		n int64
+	}
+	var kcs []kc
+	for k := Kind(1); k < numKinds; k++ {
+		if a.Counts[k] > 0 {
+			kcs = append(kcs, kc{k, a.Counts[k]})
+		}
+	}
+	sort.Slice(kcs, func(i, j int) bool {
+		if kcs[i].n != kcs[j].n {
+			return kcs[i].n > kcs[j].n
+		}
+		return kcs[i].k < kcs[j].k
+	})
+	for _, e := range kcs {
+		fmt.Fprintf(&sb, "    %-18s %d\n", e.k, e.n)
+	}
+	return sb.String()
+}

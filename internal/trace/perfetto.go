@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Synthetic track ids for events that belong to a node rather than a
+// simulated thread: coherence (snoops, memory misses) and OS/messaging
+// activity with no thread context. Kept far above any real thread id.
+const (
+	TrackCoherence = 1 << 20
+	TrackOS        = 1<<20 + 1
+)
+
+// chrome trace-event phases used by the exporter: "X" complete (span with
+// duration), "i" instant, "M" metadata (process/thread names).
+
+// WriteChromeTrace serialises the buffer in Chrome trace-event JSON
+// ("traceEvents" array form), loadable in Perfetto and chrome://tracing.
+//
+// Track layout: one process per simulated node (pid = node+1, pid 0 for
+// machine-global events), one thread track per simulated thread, plus a
+// synthetic "coherence" track per node for snoop/memory events and an
+// "os" track for kernel events with no thread context. Timestamps are the
+// engine's cycle counts converted to microseconds at the node-0 clock, so
+// the exported order matches the engine's global cycle order exactly.
+func (b *Buffer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hz := b.ClockHz[0]
+	if hz <= 0 {
+		hz = 1_000_000 // degenerate fallback: 1 cycle == 1µs
+	}
+	us := func(cycles int64) string {
+		return strconv.FormatFloat(float64(cycles)*1e6/float64(hz), 'f', 3, 64)
+	}
+
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Metadata: process names per node, thread names from spawn events and
+	// the synthetic tracks, all sorted for deterministic output.
+	type tkey struct {
+		pid, tid int64
+	}
+	threadNames := map[tkey]string{}
+	pids := map[int64]bool{}
+	pidOf := func(node int8) int64 {
+		if node == 0 || node == 1 {
+			return int64(node) + 1
+		}
+		return 0
+	}
+	for i := range b.Events {
+		e := &b.Events[i]
+		pid := pidOf(e.Node)
+		pids[pid] = true
+		if e.Kind == KindThreadSpawn && e.Tid >= 0 {
+			threadNames[tkey{pid, int64(e.Tid)}] = e.Name
+		}
+	}
+	procName := map[int64]string{0: "machine", 1: "node0 (x86_64)", 2: "node1 (aarch64)"}
+	var pidList []int64
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Slice(pidList, func(i, j int) bool { return pidList[i] < pidList[j] })
+	for _, pid := range pidList {
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%q}}`, pid, procName[pid]))
+		if pid > 0 {
+			threadNames[tkey{pid, TrackCoherence}] = "coherence"
+			threadNames[tkey{pid, TrackOS}] = "os"
+		}
+	}
+	var tkeys []tkey
+	for k := range threadNames {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i].pid != tkeys[j].pid {
+			return tkeys[i].pid < tkeys[j].pid
+		}
+		return tkeys[i].tid < tkeys[j].tid
+	})
+	for _, k := range tkeys {
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			k.pid, k.tid, threadNames[k]))
+	}
+
+	for i := range b.Events {
+		e := &b.Events[i]
+		pid := pidOf(e.Node)
+		tid := int64(e.Tid)
+		if e.Tid < 0 {
+			tid = TrackOS
+		}
+		if _, hw := componentClass(e.Kind); hw {
+			tid = TrackCoherence
+		}
+		name := e.Kind.String()
+		if e.Name != "" {
+			name = name + ":" + e.Name
+		}
+		args := fmt.Sprintf(`{"va":"0x%x","pa":"0x%x","arg":%d,"cost":%d,"tid":%d}`,
+			e.VA, e.PA, e.Arg, e.Cost, e.Tid)
+		if _, span := spanClass(e.Kind); span {
+			emit(fmt.Sprintf(`{"ph":"X","name":%q,"cat":"os","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
+				name, pid, tid, us(e.Cycle), us(e.Cost), args))
+		} else {
+			emit(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"cat":"sim","pid":%d,"tid":%d,"ts":%s,"args":%s}`,
+				name, pid, tid, us(e.Cycle), args))
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,211 @@
+// Package trace is the reproduction's deterministic, cycle-timestamped
+// event tracing subsystem. Every layer of the simulated stack — the
+// scheduling engine, the cache/coherence model, the kernels, both OS
+// personalities, and the messaging fabric — emits structured events into a
+// Tracer when one is configured, and emits nothing (one nil check, zero
+// allocations) when none is.
+//
+// Two properties are load-bearing and guarded by tests:
+//
+//   - Determinism: events carry simulated-cycle timestamps and are appended
+//     in simulation order, so a traced run produces a byte-identical event
+//     stream however the host schedules it (sequentially or under the
+//     experiment pool).
+//   - No observer effect: emitting an event never advances a simulated
+//     clock, touches simulated memory, or changes a code path, so cycle
+//     counts with tracing enabled are identical to untraced runs.
+//
+// The package is intentionally dependency-free (stdlib only): it sits below
+// internal/sim and internal/mem in the build order so that every layer can
+// import it without cycles. Cycle values are plain int64 (the same unit as
+// sim.Cycles); node IDs are plain int8 (the same values as mem.NodeID).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies one traced event. The constant order is part of the
+// serialized stream format; append new kinds at the end.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it is never emitted.
+	KindNone Kind = iota
+
+	// Scheduler events (internal/sim): the engine's thread lifecycle.
+	KindThreadSpawn  // a simulated thread was created (Name = thread name)
+	KindThreadSwitch // the engine granted the thread the execution token
+	KindThreadBlock  // the thread parked (Name = block reason)
+	KindThreadWake   // a wake-up reached the thread (Cycle = delivery time)
+	KindThreadDone   // the thread finished
+
+	// Cache/coherence events (internal/cache): the CXL snoop protocol and
+	// the miss paths that reach memory. Cache hits are not traced — they
+	// are the common case and would dominate the stream without adding
+	// attribution signal.
+	KindSnoopInvalidate // cross-node Snoop Invalidate (Cost = invalidate latency)
+	KindSnoopData       // cross-node Snoop Data forward, M/E -> S (Cost = forward latency)
+	KindMemAccess       // an access missed every cache level (Arg: 0 local, 1 remote, Cost = memory latency)
+
+	// Kernel events (internal/kernel): the OS substrate.
+	KindPageFault // span: one OS fault resolution (VA set, Arg: 0 read, 1 write, Cost = duration)
+	KindPageAlloc // buddy page allocation (PA = frame)
+	KindPageFree  // buddy page free (PA = frame)
+	KindFutexWait // span: enqueue-to-wake block on a futex (VA = uaddr, Cost = blocked cycles)
+	KindFutexWake // futex wake (VA = uaddr, Arg = waiters woken)
+	KindMigrate   // span: cross-ISA task migration (Arg = destination node, Cost = duration)
+
+	// Popcorn DSM events (internal/popcorn): the multiple-kernel baseline.
+	KindDSMRequest     // remote fault served by the origin kernel over messages
+	KindPageReplicate  // DSM page replication into a local frame (VA set)
+	KindDSMInvalidate  // DSM invalidation of the other kernel's copy (VA set)
+	KindVMAFetch       // remote kernel fetched a VMA from the origin (VA set)
+	KindFutexRPC       // futex operation forwarded to the origin kernel by RPC
+
+	// Stramash fused-kernel events (internal/stramash).
+	KindRemotePTWrite   // PTE written into the other kernel's table (VA set)
+	KindPTLAcquire      // span: cross-ISA page-table lock acquisition (Cost = spin cycles)
+	KindIPIWake         // cross-ISA futex wake delivered by a single IPI
+	KindOriginFault     // remote fault deferred to the origin kernel (legacy path)
+	KindGlobalBlockMove // global allocator moved a memory block between kernels
+
+	// Interconnect events (internal/interconnect, internal/hw).
+	KindRingEnqueue // ring-buffer slot enqueued (PA = slot, Arg = payload bytes)
+	KindRingDequeue // ring-buffer slot dequeued (PA = slot, Arg = payload bytes)
+	KindDoorbell    // cross-ISA IPI doorbell rung (Arg = destination node)
+	KindMsgSend     // one message handed to the transport (Arg = payload bytes)
+	KindRPC         // span: full request/response round trip (Cost = duration)
+	KindNotify      // span: one-way notification delivered (Cost = duration)
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:            "none",
+	KindThreadSpawn:     "thread-spawn",
+	KindThreadSwitch:    "thread-switch",
+	KindThreadBlock:     "thread-block",
+	KindThreadWake:      "thread-wake",
+	KindThreadDone:      "thread-done",
+	KindSnoopInvalidate: "snoop-invalidate",
+	KindSnoopData:       "snoop-data",
+	KindMemAccess:       "mem-access",
+	KindPageFault:       "page-fault",
+	KindPageAlloc:       "page-alloc",
+	KindPageFree:        "page-free",
+	KindFutexWait:       "futex-wait",
+	KindFutexWake:       "futex-wake",
+	KindMigrate:         "migrate",
+	KindDSMRequest:      "dsm-request",
+	KindPageReplicate:   "page-replicate",
+	KindDSMInvalidate:   "dsm-invalidate",
+	KindVMAFetch:        "vma-fetch",
+	KindFutexRPC:        "futex-rpc",
+	KindRemotePTWrite:   "remote-pt-write",
+	KindPTLAcquire:      "ptl-acquire",
+	KindIPIWake:         "ipi-wake",
+	KindOriginFault:     "origin-fault",
+	KindGlobalBlockMove: "global-block-move",
+	KindRingEnqueue:     "ring-enqueue",
+	KindRingDequeue:     "ring-dequeue",
+	KindDoorbell:        "doorbell",
+	KindMsgSend:         "msg-send",
+	KindRPC:             "rpc",
+	KindNotify:          "notify",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one traced occurrence. All fields are plain values (no pointers
+// except the static Name string), so constructing an Event on a hot path
+// allocates nothing.
+//
+// For span events (Cost > 0 kinds: page faults, RPCs, futex blocks, PTL
+// spins, migrations) Cycle is the span's *start* and Cost its duration, in
+// cycles of the emitting thread's clock. For instantaneous events Cycle is
+// the moment of occurrence and Cost is a pure latency component (snoop and
+// memory latencies) or zero.
+type Event struct {
+	Cycle int64 // simulated time (see above)
+	Cost  int64 // duration or latency component in cycles
+	VA    uint64
+	PA    uint64
+	Arg   int64  // kind-specific scalar (see Kind docs)
+	Name  string // static label (thread name, block reason); never formatted
+	Tid   int32  // emitting simulated thread, -1 if unknown
+	Node  int8   // node the event belongs to, -1 if machine-global
+	Core  int16
+	Kind  Kind
+}
+
+// Tracer receives events. Implementations must not advance simulated time
+// or touch simulated state: tracing is observation only. The nil Tracer is
+// the disabled state — every emit site performs exactly one nil check.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// ClockSetter is implemented by tracers that want the machine's per-node
+// clock rates for time conversion (the machine builder calls it once).
+type ClockSetter interface {
+	SetClockHz(hz [2]int64)
+}
+
+// Buffer is the standard Tracer: an append-only in-memory event buffer.
+// The simulation engine serializes all simulated execution on one token,
+// so Buffer needs no locking when used by a single machine.
+type Buffer struct {
+	Events  []Event
+	ClockHz [2]int64
+}
+
+// NewBuffer returns an empty buffer with default evaluation-platform
+// clocks (overridden by the machine builder via SetClockHz).
+func NewBuffer() *Buffer {
+	return &Buffer{ClockHz: [2]int64{2_100_000_000, 2_000_000_000}}
+}
+
+// Emit implements Tracer.
+func (b *Buffer) Emit(ev Event) { b.Events = append(b.Events, ev) }
+
+// SetClockHz implements ClockSetter.
+func (b *Buffer) SetClockHz(hz [2]int64) { b.ClockHz = hz }
+
+// Reset discards all recorded events (clock configuration is kept).
+func (b *Buffer) Reset() { b.Events = b.Events[:0] }
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Text renders the event stream in a fixed line-per-event format. Two runs
+// of the same simulation must produce byte-identical Text output — the
+// golden determinism tests compare exactly this.
+func (b *Buffer) Text() string {
+	var sb strings.Builder
+	for i := range b.Events {
+		e := &b.Events[i]
+		fmt.Fprintf(&sb, "%d %s node=%d core=%d tid=%d va=%#x pa=%#x arg=%d cost=%d",
+			e.Cycle, e.Kind, e.Node, e.Core, e.Tid, e.VA, e.PA, e.Arg, e.Cost)
+		if e.Name != "" {
+			fmt.Fprintf(&sb, " name=%q", e.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CountByKind tallies events per kind.
+func (b *Buffer) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for i := range b.Events {
+		m[b.Events[i].Kind]++
+	}
+	return m
+}

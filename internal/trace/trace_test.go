@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBufferTextDeterministic(t *testing.T) {
+	mk := func() *Buffer {
+		b := NewBuffer()
+		b.Emit(Event{Cycle: 10, Kind: KindThreadSpawn, Tid: 1, Node: 0, Name: "waiter"})
+		b.Emit(Event{Cycle: 20, Kind: KindMemAccess, Tid: 1, Node: 0, PA: 0x1000, Arg: 1, Cost: 350})
+		b.Emit(Event{Cycle: 400, Kind: KindPageFault, Tid: 1, Node: 0, VA: 0x7f0000, Arg: 1, Cost: 900})
+		return b
+	}
+	a, b := mk().Text(), mk().Text()
+	if a != b {
+		t.Fatalf("Text not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "page-fault") || !strings.Contains(a, `name="waiter"`) {
+		t.Fatalf("unexpected text:\n%s", a)
+	}
+	if got := mk().Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+func TestKindStringsComplete(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+}
+
+func TestAttributeNestedSpansExclusive(t *testing.T) {
+	b := NewBuffer()
+	// Thread 1: an RPC [100,300) nested inside a page fault [0,1000).
+	// Inner spans are emitted first (span events fire at span end).
+	b.Emit(Event{Cycle: 100, Cost: 200, Kind: KindRPC, Tid: 1, Node: 0})
+	b.Emit(Event{Cycle: 0, Cost: 1000, Kind: KindPageFault, Tid: 1, Node: 0, VA: 0x1000})
+	a := Attribute(b.Events)
+
+	if got := a.Spans[ClassMessaging]; got != 200 {
+		t.Errorf("messaging = %d, want 200", got)
+	}
+	// The fault's exclusive time excludes the nested RPC.
+	if got := a.Spans[ClassFault]; got != 800 {
+		t.Errorf("fault = %d, want 800 (1000 inclusive - 200 nested)", got)
+	}
+	if got := a.OSTotal(); got != 1000 {
+		t.Errorf("OSTotal = %d, want 1000", got)
+	}
+	if got := a.Busy; got != 1000 {
+		t.Errorf("Busy = %d, want 1000", got)
+	}
+	if got := a.Compute(); got != 0 {
+		t.Errorf("Compute = %d, want 0", got)
+	}
+}
+
+func TestAttributeDoubleNesting(t *testing.T) {
+	b := NewBuffer()
+	// fault [0,1000) > rpc [100,500) > ptl [150,250); emitted innermost first.
+	b.Emit(Event{Cycle: 150, Cost: 100, Kind: KindPTLAcquire, Tid: 7, Node: 1})
+	b.Emit(Event{Cycle: 100, Cost: 400, Kind: KindRPC, Tid: 7, Node: 1})
+	b.Emit(Event{Cycle: 0, Cost: 1000, Kind: KindPageFault, Tid: 7, Node: 1})
+	a := Attribute(b.Events)
+	if got := a.Spans[ClassSync]; got != 100 {
+		t.Errorf("sync = %d, want 100", got)
+	}
+	if got := a.Spans[ClassMessaging]; got != 300 {
+		t.Errorf("messaging = %d, want 300 (400 - 100 nested)", got)
+	}
+	if got := a.Spans[ClassFault]; got != 600 {
+		t.Errorf("fault = %d, want 600 (1000 - 400 nested rpc)", got)
+	}
+	if got := a.OSTotal(); got != 1000 {
+		t.Errorf("OSTotal = %d, want 1000", got)
+	}
+}
+
+func TestAttributeComponentsAdditive(t *testing.T) {
+	b := NewBuffer()
+	b.Emit(Event{Cycle: 10, Cost: 120, Kind: KindSnoopInvalidate, Tid: 2, Node: 0})
+	b.Emit(Event{Cycle: 10, Cost: 90, Kind: KindSnoopData, Tid: 2, Node: 0})
+	b.Emit(Event{Cycle: 50, Cost: 350, Kind: KindMemAccess, Tid: 2, Node: 0, Arg: 1})
+	a := Attribute(b.Events)
+	if got := a.Components[ClassCoherence]; got != 210 {
+		t.Errorf("coherence = %d, want 210", got)
+	}
+	if got := a.Components[ClassMemory]; got != 350 {
+		t.Errorf("memory = %d, want 350", got)
+	}
+	if got := a.OSTotal(); got != 0 {
+		t.Errorf("OSTotal = %d, want 0", got)
+	}
+}
+
+func TestAttributePerNodeSplit(t *testing.T) {
+	b := NewBuffer()
+	b.Emit(Event{Cycle: 0, Cost: 100, Kind: KindPageFault, Tid: 1, Node: 0})
+	b.Emit(Event{Cycle: 0, Cost: 300, Kind: KindPageFault, Tid: 2, Node: 1})
+	a := Attribute(b.Events)
+	if a.PerNode[0][ClassFault] != 100 || a.PerNode[1][ClassFault] != 300 {
+		t.Errorf("per-node fault split = %d/%d, want 100/300",
+			a.PerNode[0][ClassFault], a.PerNode[1][ClassFault])
+	}
+}
+
+func TestRenderMentionsAllClasses(t *testing.T) {
+	b := NewBuffer()
+	b.Emit(Event{Cycle: 0, Cost: 500, Kind: KindPageFault, Tid: 1, Node: 0})
+	b.Emit(Event{Cycle: 600, Cost: 50, Kind: KindMemAccess, Tid: 1, Node: 0})
+	out := Attribute(b.Events).Render()
+	for _, want := range []string{"fault", "messaging", "sync", "compute", "coherence", "memory", "page-fault"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	b := NewBuffer()
+	b.SetClockHz([2]int64{2_000_000_000, 1_800_000_000})
+	b.Emit(Event{Cycle: 0, Kind: KindThreadSpawn, Tid: 1, Node: 0, Name: "pinger"})
+	b.Emit(Event{Cycle: 0, Kind: KindThreadSpawn, Tid: 2, Node: 1, Name: "ponger"})
+	b.Emit(Event{Cycle: 100, Cost: 900, Kind: KindPageFault, Tid: 1, Node: 0, VA: 0x2000})
+	b.Emit(Event{Cycle: 150, Cost: 120, Kind: KindSnoopInvalidate, Tid: 2, Node: 1, PA: 0x88})
+	b.Emit(Event{Cycle: 500, Kind: KindDoorbell, Tid: -1, Node: 1, Arg: 0})
+
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	pidsSeen := map[float64]bool{}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		pidsSeen[ev["pid"].(float64)] = true
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if !pidsSeen[1] || !pidsSeen[2] {
+		t.Errorf("expected events on both node pids, saw %v", pidsSeen)
+	}
+	if spans != 1 || instants != 4 {
+		t.Errorf("spans=%d instants=%d, want 1/4", spans, instants)
+	}
+	if meta < 4 {
+		t.Errorf("expected >=4 metadata records (2 processes + threads), got %d", meta)
+	}
+	// Determinism: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := b.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteChromeTrace output not deterministic")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer()
+	b.Emit(Event{Cycle: 1, Kind: KindDoorbell})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	if b.CountByKind()[KindDoorbell] != 0 {
+		t.Fatal("CountByKind nonzero after Reset")
+	}
+}
