@@ -11,6 +11,12 @@
 //
 //	stramash-bench [-scale quick|full] [-only <id>] [-parallel N]
 //	               [-timeout d] [-timing] [-list] [-json results.json]
+//	               [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -cpuprofile and -memprofile write pprof profiles of the host process
+// (see EXPERIMENTS.md, "Profiling the simulator"). Profile with
+// -parallel 1 for readable flame graphs; profiling does not perturb
+// simulated cycle counts, only host wall time.
 //
 // -json additionally writes a machine-readable report: per experiment the
 // simulated cycle counts and counters (deterministic across runs), the
@@ -27,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,6 +48,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	timing := flag.Bool("timing", false, "print per-experiment wall-clock timing to stderr")
 	jsonOut := flag.String("json", "", "write a machine-readable JSON report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Parse()
 
 	if *list {
@@ -71,9 +81,37 @@ func main() {
 	}
 
 	opts := experiments.PoolOptions{Parallelism: *parallel, Timeout: *timeout}
+
+	// Profiling brackets exactly the experiment pool: flag parsing and
+	// report rendering stay out of the profile. main exits via os.Exit, so
+	// the profiles are closed explicitly here rather than deferred.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
 	outcomes := experiments.RunPool(context.Background(), specs, scale, opts)
 	wall := time.Since(start)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+	}
 
 	if *timing {
 		for _, o := range outcomes {
@@ -101,6 +139,22 @@ func main() {
 		fmt.Println("all shape checks reproduced")
 	}
 	os.Exit(experiments.ExitCode(deviations, err))
+}
+
+// writeMemProfile records the post-run heap. allocs-space totals in the
+// profile cover the whole run; the GC runs first so inuse numbers reflect
+// live retention, not garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSONFile renders the -json report. It runs before Report so that a

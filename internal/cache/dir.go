@@ -1,0 +1,165 @@
+package cache
+
+// The coherence directory is the hottest data structure in the simulator:
+// every simulated load, store and ifetch consults it at least once. It used
+// to be a Go map[lineAddr]*dirEntry, which costs a hash, bucket probing and
+// a pointer chase per access plus one heap allocation per tracked line.
+// dirTable replaces it with an open-addressed linear-probing table of
+// *inline* dirEntry values: one multiplicative hash, a short probe over a
+// contiguous slot array, and no per-line allocation (slots live in one
+// backing array that grows geometrically and only ever when load exceeds
+// 3/4). Deletion uses the classic backward-shift algorithm (Knuth 6.4,
+// Algorithm R), so there are no tombstones and probe chains stay short.
+//
+// The table is a pure host-side change: it stores exactly the same entries
+// the map stored and is never iterated on a simulated path, so simulated
+// cycle counts are bit-identical (see DESIGN.md "Host performance
+// architecture"; TestDirTableMatchesMapDirectory enforces equivalence
+// against a map-backed reference over randomized operation sequences).
+
+// dirSlot is one open-addressing slot: the line key, a presence flag and
+// the inline entry value.
+type dirSlot struct {
+	key  lineAddr
+	used bool
+	e    dirEntry
+}
+
+// dirTable is the open-addressed directory.
+type dirTable struct {
+	slots []dirSlot
+	mask  uint64
+	count int
+}
+
+// dirMinSlots is the initial (and post-Flush) capacity; must be a power of
+// two.
+const dirMinSlots = 1024
+
+func newDirTable() dirTable {
+	return dirTable{slots: make([]dirSlot, dirMinSlots), mask: dirMinSlots - 1}
+}
+
+// dirHash spreads line addresses over the table (Fibonacci hashing; the
+// low bits of a line address are strongly patterned by set-strided access).
+func dirHash(k lineAddr) uint64 {
+	return uint64(k) * 0x9E3779B97F4A7C15
+}
+
+// get returns the entry for k, or nil. The pointer is valid only until the
+// next ensure/remove (the backing array may move or shift).
+func (t *dirTable) get(k lineAddr) *dirEntry {
+	mask := t.mask
+	for i := (dirHash(k) >> 32) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return nil
+		}
+		if s.key == k {
+			return &s.e
+		}
+	}
+}
+
+// ensure returns the slot index and entry for k, inserting an uncached
+// entry (owner -1) if absent. The pointer and index are valid only until
+// the next ensure/remove.
+func (t *dirTable) ensure(k lineAddr) (int, *dirEntry) {
+	if t.count >= len(t.slots)-len(t.slots)/4 {
+		t.grow()
+	}
+	mask := t.mask
+	for i := (dirHash(k) >> 32) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			s.used = true
+			s.key = k
+			s.e = dirEntry{owner: -1}
+			t.count++
+			return int(i), &s.e
+		}
+		if s.key == k {
+			return int(i), &s.e
+		}
+	}
+}
+
+// grow doubles the table and rehashes every live slot.
+func (t *dirTable) grow() {
+	old := t.slots
+	t.slots = make([]dirSlot, len(old)*2)
+	t.mask = uint64(len(t.slots) - 1)
+	mask := t.mask
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := (dirHash(old[i].key) >> 32) & mask
+		for t.slots[j].used {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = old[i]
+	}
+}
+
+// remove deletes k if present, using backward-shift deletion so the table
+// never accumulates tombstones.
+func (t *dirTable) remove(k lineAddr) {
+	mask := t.mask
+	i := (dirHash(k) >> 32) & mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.key == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	t.count--
+	// Shift later cluster members back over the hole. A slot at n may move
+	// into the hole at j only if its home position is cyclically at or
+	// before j — otherwise a lookup starting at its home would stop at the
+	// empty slot n and miss it.
+	j := i
+	for {
+		t.slots[j] = dirSlot{}
+		n := j
+		for {
+			n = (n + 1) & mask
+			if !t.slots[n].used {
+				return
+			}
+			home := (dirHash(t.slots[n].key) >> 32) & mask
+			if cyclicBetween(home, j, n) {
+				t.slots[j] = t.slots[n]
+				j = n
+				break
+			}
+		}
+	}
+}
+
+// cyclicBetween reports home <= j < n in cyclic (mod table size) order.
+func cyclicBetween(home, j, n uint64) bool {
+	if home <= n {
+		return home <= j && j < n
+	}
+	return home <= j || j < n
+}
+
+// forEach visits every live entry (test and Flush support; never called on
+// a simulated path, so visit order cannot influence timing).
+func (t *dirTable) forEach(f func(lineAddr, *dirEntry)) {
+	for i := range t.slots {
+		if t.slots[i].used {
+			f(t.slots[i].key, &t.slots[i].e)
+		}
+	}
+}
+
+// reset empties the table back to its minimum capacity.
+func (t *dirTable) reset() {
+	*t = newDirTable()
+}

@@ -1,0 +1,149 @@
+package cache
+
+// Differential property test for the flat open-addressed coherence
+// directory (dir.go): a map-backed reference implementation with the exact
+// semantics of the pre-optimization directory is driven through randomized
+// operation sequences in lockstep with dirTable, and the two must agree on
+// every observation. This is the "flat directory vs. map directory"
+// equivalence guard of DESIGN.md's host performance architecture: the
+// directory's contents are timing-relevant (holders/owner state decides
+// snoop charges), so the flat table must be provably indistinguishable
+// from the map it replaced.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mapDir is the reference directory: the pre-optimization implementation,
+// verbatim semantics (create-as-uncached on ensure, delete on remove).
+type mapDir struct {
+	m map[lineAddr]*dirEntry
+}
+
+func newMapDir() *mapDir { return &mapDir{m: make(map[lineAddr]*dirEntry)} }
+
+func (d *mapDir) ensure(k lineAddr) *dirEntry {
+	e := d.m[k]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		d.m[k] = e
+	}
+	return e
+}
+
+func (d *mapDir) get(k lineAddr) *dirEntry { return d.m[k] }
+
+func (d *mapDir) remove(k lineAddr) { delete(d.m, k) }
+
+// TestDirTableMatchesMapDirectory drives dirTable and the map reference
+// through identical randomized operation sequences — ensure with random
+// MESI mutations, removes, lookups — over key distributions chosen to
+// force probe clusters, backward-shift deletions and table growth, and
+// checks full state equality throughout.
+func TestDirTableMatchesMapDirectory(t *testing.T) {
+	const (
+		seeds = 8
+		steps = 20000
+	)
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed * 0x1234567)
+			flat := newDirTable()
+			ref := newMapDir()
+
+			// Key pool: three strided runs (cache-set-like patterns whose
+			// low bits collide) plus a dense run, large enough to push the
+			// table through several growths.
+			var keys []lineAddr
+			for i := 0; i < 700; i++ {
+				keys = append(keys, lineAddr(i))
+				keys = append(keys, lineAddr(0x40000+i*4096))
+				keys = append(keys, lineAddr(0x9000000+i*64))
+			}
+
+			for step := 0; step < steps; step++ {
+				k := keys[rng.Intn(len(keys))]
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					// Lookup: same presence and value.
+					fe, re := flat.get(k), ref.get(k)
+					if (fe == nil) != (re == nil) {
+						t.Fatalf("step %d: get(%#x) presence: flat=%v ref=%v", step, k, fe != nil, re != nil)
+					}
+					if fe != nil && *fe != *re {
+						t.Fatalf("step %d: get(%#x): flat=%+v ref=%+v", step, k, *fe, *re)
+					}
+				case 3, 4:
+					// Remove (possibly absent — must be a no-op then).
+					flat.remove(k)
+					ref.remove(k)
+				default:
+					// Ensure and apply one random MESI mutation to both.
+					_, fe := flat.ensure(k)
+					re := ref.ensure(k)
+					if *fe != *re {
+						t.Fatalf("step %d: ensure(%#x) returned flat=%+v ref=%+v", step, k, *fe, *re)
+					}
+					mut := dirEntry{
+						holders:  [2]bool{rng.Intn(2) == 0, rng.Intn(2) == 0},
+						owner:    int8(rng.Intn(3) - 1),
+						modified: rng.Intn(2) == 0,
+					}
+					*fe = mut
+					*re = mut
+				}
+				if flat.count != len(ref.m) {
+					t.Fatalf("step %d: flat count %d, ref count %d", step, flat.count, len(ref.m))
+				}
+			}
+
+			// Final full-state equality, both directions.
+			seen := 0
+			flat.forEach(func(k lineAddr, e *dirEntry) {
+				seen++
+				re := ref.get(k)
+				if re == nil {
+					t.Fatalf("flat has %#x (%+v), ref does not", k, *e)
+				}
+				if *re != *e {
+					t.Fatalf("key %#x: flat=%+v ref=%+v", k, *e, *re)
+				}
+			})
+			if seen != len(ref.m) {
+				t.Fatalf("flat visited %d entries, ref holds %d", seen, len(ref.m))
+			}
+		})
+	}
+}
+
+// TestDirTableProbeInvariant checks, after heavy churn, that every live
+// entry is still reachable by probing from its home slot with no
+// intervening empty slot (the structural invariant backward-shift deletion
+// must maintain).
+func TestDirTableProbeInvariant(t *testing.T) {
+	rng := sim.NewRNG(99)
+	flat := newDirTable()
+	live := make(map[lineAddr]bool)
+	for step := 0; step < 50000; step++ {
+		k := lineAddr(rng.Intn(4096) * 997)
+		if rng.Intn(3) == 0 {
+			flat.remove(k)
+			delete(live, k)
+		} else {
+			flat.ensure(k)
+			live[k] = true
+		}
+	}
+	for k := range live {
+		if flat.get(k) == nil {
+			t.Fatalf("live key %#x unreachable after churn", k)
+		}
+	}
+	if flat.count != len(live) {
+		t.Fatalf("count %d, want %d", flat.count, len(live))
+	}
+}

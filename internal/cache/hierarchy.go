@@ -11,7 +11,7 @@ import (
 // lineAddr is a physical address divided by the line size.
 type lineAddr uint64
 
-func lineOf(a mem.PhysAddr) lineAddr { return lineAddr(a) / mem.LineSize }
+func lineOf(a mem.PhysAddr) lineAddr { return lineAddr(a >> mem.LineShift) }
 
 // way is one cache way: a tag plus replacement state.
 type way struct {
@@ -21,10 +21,21 @@ type way struct {
 	used  int64 // global LRU timestamp
 }
 
-// level is one set-associative cache level with true LRU replacement.
+// level is one set-associative cache level with true LRU replacement. The
+// ways of all sets live in one contiguous array (set s occupies
+// ways[s*assoc : (s+1)*assoc]), so a lookup is a shift, a mask and a short
+// scan of adjacent memory — no per-set slice headers, no division.
+//
+// mru caches the way returned by the last successful lookup. Accesses
+// repeat lines heavily (eight consecutive words share a line), so the
+// common case degenerates to one pointer check. The pointer never dangles:
+// ways is never reallocated, and a reused or invalidated way fails the
+// valid/line check.
 type level struct {
-	sets [][]way
-	mask uint64
+	ways  []way
+	mru   *way
+	assoc int
+	mask  uint64
 }
 
 func newLevel(c LevelConfig) *level {
@@ -35,16 +46,17 @@ func newLevel(c LevelConfig) *level {
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two (size=%d ways=%d)", n, c.Size, c.Ways))
 	}
-	l := &level{sets: make([][]way, n), mask: uint64(n - 1)}
-	for i := range l.sets {
-		l.sets[i] = make([]way, c.Ways)
-	}
-	return l
+	return &level{ways: make([]way, n*c.Ways), assoc: c.Ways, mask: uint64(n - 1)}
 }
 
-func (l *level) setOf(a lineAddr) []way { return l.sets[uint64(a)&l.mask] }
+func (l *level) setOf(a lineAddr) []way {
+	s := (uint64(a) & l.mask) * uint64(l.assoc)
+	return l.ways[s : s+uint64(l.assoc)]
+}
 
-// lookup returns the way holding a, or nil.
+// lookup returns the way holding a, or nil, remembering a hit in l.mru.
+// The mru check itself lives in hit(), not here, so this function stays
+// within the compiler's inlining budget for the miss-path callers.
 func (l *level) lookup(a lineAddr) *way {
 	if l == nil {
 		return nil
@@ -52,18 +64,21 @@ func (l *level) lookup(a lineAddr) *way {
 	set := l.setOf(a)
 	for i := range set {
 		if set[i].valid && set[i].line == a {
+			l.mru = &set[i]
 			return &set[i]
 		}
 	}
 	return nil
 }
 
+
 // insert fills a into the level, evicting the LRU way if needed. It returns
-// the evicted line and whether an eviction of a valid (possibly dirty) line
-// happened.
-func (l *level) insert(a lineAddr, tick int64) (evicted lineAddr, wasValid, wasDirty bool) {
+// the way now holding a (so callers can mark it dirty without a second set
+// scan) plus the evicted line and whether an eviction of a valid (possibly
+// dirty) line happened.
+func (l *level) insert(a lineAddr, tick int64) (filled *way, evicted lineAddr, wasValid, wasDirty bool) {
 	if l == nil {
-		return 0, false, false
+		return nil, 0, false, false
 	}
 	set := l.setOf(a)
 	victim := 0
@@ -79,7 +94,7 @@ func (l *level) insert(a lineAddr, tick int64) (evicted lineAddr, wasValid, wasD
 	w := &set[victim]
 	evicted, wasValid, wasDirty = w.line, w.valid, w.dirty
 	*w = way{line: a, valid: true, used: tick}
-	return evicted, wasValid, wasDirty
+	return w, evicted, wasValid, wasDirty
 }
 
 // invalidate removes a from the level, returning whether it was present and
@@ -104,20 +119,31 @@ func (l *level) flushAll() {
 	if l == nil {
 		return
 	}
-	for s := range l.sets {
-		for i := range l.sets[s] {
-			l.sets[s][i] = way{}
-		}
+	for i := range l.ways {
+		l.ways[i] = way{}
 	}
 }
 
-// dirEntry tracks the MESI state of one line across the two nodes.
+// dirEntry tracks the MESI state of one line across the two nodes. It is
+// stored by value inside the directory's flat slot array (dir.go), so it is
+// kept small: 4 bytes instead of a heap object per line.
 type dirEntry struct {
 	holders [2]bool
 	// owner is the node holding the line Exclusive or Modified, or -1 when
 	// the line is Shared or uncached.
-	owner    int
+	owner    int8
 	modified bool
+}
+
+// dirHint is a per-core one-entry cache of the directory slot holding the
+// core's most recently accessed line, so repeat hits skip probing. It is
+// validated by re-checking the slot's key, which stays correct across
+// backward-shift deletions and table growth (a slot holding the right key
+// IS the entry — keys are unique).
+type dirHint struct {
+	ln  lineAddr
+	idx int32
+	ok  bool
 }
 
 // nodeCaches is one node's private hierarchy plus its counters.
@@ -133,8 +159,10 @@ type Hierarchy struct {
 	layout   *mem.Layout
 	nodes    [2]*nodeCaches
 	sharedL3 *level
-	dir      map[lineAddr]*dirEntry
-	tick     int64
+	dir      dirTable
+	// hints are the per-node, per-core last-line directory slot caches.
+	hints [2][]dirHint
+	tick  int64
 
 	// Tap, when set, observes every access before it is simulated. The
 	// Figure 8 validation uses it to replay the identical reference stream
@@ -157,9 +185,10 @@ type Hierarchy struct {
 // NewHierarchy builds the cache model for the given configuration and
 // physical layout.
 func NewHierarchy(cfg Config, layout *mem.Layout) *Hierarchy {
-	h := &Hierarchy{cfg: cfg, layout: layout, dir: make(map[lineAddr]*dirEntry)}
+	h := &Hierarchy{cfg: cfg, layout: layout, dir: newDirTable()}
 	for n := 0; n < 2; n++ {
 		nc := &nodeCaches{}
+		h.hints[n] = make([]dirHint, cfg.Nodes[n].Cores)
 		for c := 0; c < cfg.Nodes[n].Cores; c++ {
 			nc.l1i = append(nc.l1i, newLevel(cfg.Nodes[n].L1I))
 			nc.l1d = append(nc.l1d, newLevel(cfg.Nodes[n].L1D))
@@ -198,12 +227,23 @@ func (h *Hierarchy) TraceContext(cycle int64, tid int32) {
 }
 
 // entry returns the directory entry for a line, creating it as uncached.
+// The pointer is valid only until the next directory mutation.
 func (h *Hierarchy) entry(a lineAddr) *dirEntry {
-	e := h.dir[a]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		h.dir[a] = e
+	_, e := h.dir.ensure(a)
+	return e
+}
+
+// entryFor is entry with the accessing core's last-line hint: a repeat
+// access to the same line by the same core skips hashing and probing.
+func (h *Hierarchy) entryFor(node, core int, a lineAddr) *dirEntry {
+	ht := &h.hints[node][core]
+	if ht.ok && ht.ln == a {
+		if s := &h.dir.slots[ht.idx]; s.used && s.key == a {
+			return &s.e
+		}
 	}
+	idx, e := h.dir.ensure(a)
+	*ht = dirHint{ln: a, idx: int32(idx), ok: true}
 	return e
 }
 
@@ -219,6 +259,10 @@ func (h *Hierarchy) Access(node mem.NodeID, core int, kind Kind, addr mem.PhysAd
 	}
 	first := lineOf(addr)
 	last := lineOf(addr + mem.PhysAddr(size-1))
+	if first == last {
+		// The overwhelmingly common case: the access fits one line.
+		return h.accessLine(int(node), core, kind, first)
+	}
 	var total sim.Cycles
 	for ln := first; ln <= last; ln++ {
 		total += h.accessLine(int(node), core, kind, ln)
@@ -233,13 +277,49 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 	st := &nc.stats
 	lat := h.cfg.Nodes[node].Lat
 	other := 1 - node
+	isWrite := kind == Write
+
+	l1 := nc.l1d[core]
+	if kind == Ifetch {
+		l1 = nc.l1i[core]
+		st.L1IAccesses++
+	} else {
+		st.L1DAccesses++
+		st.MemAccesses++
+	}
+
+	if !isWrite {
+		// Read L1-hit fast path: a line cached here cannot have a remote
+		// M/E owner (a remote write would have snoop-invalidated it; a
+		// remote read of an owned line demotes the owner), so the
+		// directory transaction below would neither charge cycles nor
+		// change state. Skipping the directory probe entirely is therefore
+		// invisible to the timing model; the inclusion invariant
+		// guarantees the entry exists and records this node as a holder.
+		// The mru check is hoisted out of lookup (here and below) so both
+		// halves stay within the inlining budget.
+		w := l1.mru
+		if w == nil || !w.valid || w.line != ln {
+			w = l1.lookup(ln)
+		}
+		if w != nil {
+			w.used = h.tick
+			if kind == Ifetch {
+				st.L1IHits++
+			} else {
+				st.L1DHits++
+			}
+			st.CacheHitLatency += lat.L1
+			st.TotalLatency += lat.L1
+			return lat.L1
+		}
+	}
 
 	var cost sim.Cycles
 
 	// Coherence actions against the other node (and other cores via
 	// inclusion-maintained invalidation).
-	e := h.entry(ln)
-	isWrite := kind == Write
+	e := h.entryFor(node, core, ln)
 	if isWrite {
 		if e.holders[other] {
 			// CXL Snoop Invalidate: the other node must drop its copy.
@@ -256,10 +336,10 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			}
 		}
 		e.holders[node] = true
-		e.owner = node
+		e.owner = int8(node)
 		e.modified = true
 	} else {
-		if e.holders[other] && e.owner == other {
+		if e.holders[other] && int(e.owner) == other {
 			// CXL Snoop Data: M/E at the other node; forward data, both S.
 			cost += h.cfg.CrossNode.Data
 			st.SnoopDataForwards++
@@ -275,41 +355,40 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 		wasCached := e.holders[0] || e.holders[1]
 		e.holders[node] = true
 		if !wasCached {
-			e.owner = node // Exclusive
-		} else if e.owner != node {
+			e.owner = int8(node) // Exclusive
+		} else if int(e.owner) != node {
 			e.owner = -1 // Shared
 		}
 	}
 
-	// Level lookups.
-	l1 := nc.l1d[core]
-	if kind == Ifetch {
-		l1 = nc.l1i[core]
-		st.L1IAccesses++
-	} else {
-		st.L1DAccesses++
-		st.MemAccesses++
-	}
-	if w := l1.lookup(ln); w != nil {
-		w.used = h.tick
-		if isWrite {
+	// Level lookups. Reads already probed (and missed) L1 above.
+	if isWrite {
+		w := l1.mru
+		if w == nil || !w.valid || w.line != ln {
+			w = l1.lookup(ln)
+		}
+		if w != nil {
+			w.used = h.tick
 			w.dirty = true
-		}
-		if kind == Ifetch {
-			st.L1IHits++
-		} else {
 			st.L1DHits++
+			cost += lat.L1
+			st.CacheHitLatency += lat.L1
+			st.TotalLatency += cost
+			return cost
 		}
-		cost += lat.L1
-		st.CacheHitLatency += lat.L1
-		st.TotalLatency += cost
-		return cost
 	}
 	cost += lat.L1
 
 	st.L2Accesses++
 	l2 := nc.l2[core]
-	if w := l2.lookup(ln); w != nil {
+	var w2 *way
+	if l2 != nil {
+		w2 = l2.mru
+		if w2 == nil || !w2.valid || w2.line != ln {
+			w2 = l2.lookup(ln)
+		}
+	}
+	if w := w2; w != nil {
 		w.used = h.tick
 		if isWrite {
 			w.dirty = true
@@ -329,7 +408,11 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 	}
 	if l3 != nil {
 		st.L3Accesses++
-		if w := l3.lookup(ln); w != nil {
+		w3 := l3.mru
+		if w3 == nil || !w3.valid || w3.line != ln {
+			w3 = l3.lookup(ln)
+		}
+		if w := w3; w != nil {
 			w.used = h.tick
 			if isWrite {
 				w.dirty = true
@@ -386,11 +469,9 @@ func (h *Hierarchy) fillLevel(node, core int, l *level, ln lineAddr, dirty bool)
 	if l == nil {
 		return
 	}
-	_, _, _ = l.insert(ln, h.tick)
+	w, _, _, _ := l.insert(ln, h.tick)
 	if dirty {
-		if w := l.lookup(ln); w != nil {
-			w.dirty = true
-		}
+		w.dirty = true
 	}
 	_ = node
 	_ = core
@@ -403,22 +484,20 @@ func (h *Hierarchy) fillL3(node, core int, l3 *level, ln lineAddr, dirty bool, l
 	st := &h.nodes[node].stats
 	if l3 == nil {
 		// Small configs without an L3 enforce inclusion at L2 instead.
-		evicted, wasValid, wasDirty := h.nodes[node].l2[core].insert(ln, h.tick)
+		w, evicted, wasValid, wasDirty := h.nodes[node].l2[core].insert(ln, h.tick)
 		if wasValid {
 			h.onLastLevelEvict(node, evicted, wasDirty)
 		}
 		if dirty {
-			if w := h.nodes[node].l2[core].lookup(ln); w != nil {
-				w.dirty = true
-			}
+			// The back-invalidation above targets only the evicted line,
+			// never ln, so w still holds the line just filled.
+			w.dirty = true
 		}
 		return
 	}
-	evicted, wasValid, wasDirty := l3.insert(ln, h.tick)
+	w, evicted, wasValid, wasDirty := l3.insert(ln, h.tick)
 	if dirty {
-		if w := l3.lookup(ln); w != nil {
-			w.dirty = true
-		}
+		w.dirty = true
 	}
 	if !wasValid {
 		return
@@ -449,7 +528,7 @@ func (h *Hierarchy) onLastLevelEvict(node int, ln lineAddr, dirty bool) {
 	}
 	e := h.entry(ln)
 	e.holders[node] = false
-	if e.owner == node {
+	if int(e.owner) == node {
 		e.owner = -1
 		e.modified = false
 	}
@@ -460,7 +539,7 @@ func (h *Hierarchy) onLastLevelEvict(node int, ln lineAddr, dirty bool) {
 		}
 	}
 	if !e.holders[0] && !e.holders[1] {
-		delete(h.dir, ln)
+		h.dir.remove(ln)
 	}
 }
 
@@ -483,17 +562,17 @@ func (h *Hierarchy) invalidateNode(node int, ln lineAddr) {
 // HoldsLine reports whether node currently caches the line containing addr
 // according to the coherence directory (used by invariant tests).
 func (h *Hierarchy) HoldsLine(node mem.NodeID, addr mem.PhysAddr) bool {
-	e := h.dir[lineOf(addr)]
+	e := h.dir.get(lineOf(addr))
 	return e != nil && e.holders[node]
 }
 
 // OwnerOf returns the node holding the line M/E, or -1 if shared/uncached.
 func (h *Hierarchy) OwnerOf(addr mem.PhysAddr) int {
-	e := h.dir[lineOf(addr)]
+	e := h.dir.get(lineOf(addr))
 	if e == nil {
 		return -1
 	}
-	return e.owner
+	return int(e.owner)
 }
 
 // Flush empties every cache in the machine (contents only; stats remain).
@@ -511,5 +590,10 @@ func (h *Hierarchy) Flush() {
 	if h.sharedL3 != nil {
 		h.sharedL3.flushAll()
 	}
-	h.dir = make(map[lineAddr]*dirEntry)
+	h.dir.reset()
+	for n := range h.hints {
+		for c := range h.hints[n] {
+			h.hints[n][c] = dirHint{}
+		}
+	}
 }

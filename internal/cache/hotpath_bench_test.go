@@ -1,0 +1,96 @@
+package cache
+
+// Hot-path microbenchmarks and allocation guards for the flat-table memory
+// pipeline. The simulator's throughput is bounded by accessLine, so these
+// pin its cost and its zero-allocation contract on the paths that dominate
+// real runs: the warm L1 hit, the cache-miss path (with directory churn
+// from inclusive-LLC evictions), and the cross-node snoop path.
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// missStride aliases the default geometry in every level: line-number
+// stride 4096 is a multiple of the L1 (64), L2 (1024) and L3 (4096) set
+// counts, so all strided addresses share one set per level.
+const missStride = 4096 * mem.LineSize
+
+// BenchmarkAccessLineL1Hit measures the warm L1 hit, the most frequent
+// operation in any simulation.
+func BenchmarkAccessLineL1Hit(b *testing.B) {
+	h := newTestHierarchy(mem.Separated)
+	h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	var sink sim.Cycles
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += h.Access(mem.NodeX86, 0, Read, 0x1000, 8)
+	}
+	_ = sink
+}
+
+// BenchmarkAccessLineMiss measures the full miss path: 32 lines aliased
+// into one set of every level thrash the 16-way L3, so each access walks
+// all levels, reaches memory, and churns the coherence directory through
+// inclusive-eviction removes and re-inserts.
+func BenchmarkAccessLineMiss(b *testing.B) {
+	h := newTestHierarchy(mem.Separated)
+	var sink sim.Cycles
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += h.Access(mem.NodeX86, 0, Read, mem.PhysAddr(i%32)*missStride, 8)
+	}
+	_ = sink
+}
+
+// BenchmarkAccessLineCrossNodeSnoop measures the coherence slow path:
+// alternating writes to one line from both nodes force a CXL snoop
+// invalidate on every access.
+func BenchmarkAccessLineCrossNodeSnoop(b *testing.B) {
+	h := newTestHierarchy(mem.Separated)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(mem.NodeID(i&1), 0, Write, 0x2000, 8)
+	}
+}
+
+// TestMissPathZeroAllocs extends the zero-allocation guard beyond the warm
+// L1 hit (trace_guard_test.go) to the miss path: a steady-state working
+// set that misses every level, evicts from the inclusive L3 and deletes/
+// re-inserts directory entries must not allocate once the directory table
+// has reached its steady capacity.
+func TestMissPathZeroAllocs(t *testing.T) {
+	h := newTestHierarchy(mem.Separated)
+	touch := func() {
+		for i := 0; i < 32; i++ {
+			h.Access(mem.NodeX86, 0, Read, mem.PhysAddr(i)*missStride, 8)
+		}
+	}
+	touch() // warm: materialize directory capacity
+	allocs := testing.AllocsPerRun(200, touch)
+	if allocs != 0 {
+		t.Errorf("steady-state miss path allocates %.2f objects per 32-access round, want 0", allocs)
+	}
+}
+
+// TestSnoopPathZeroAllocs pins the cross-node coherence path (snoop
+// invalidate + snoop data forward) to zero steady-state allocations.
+func TestSnoopPathZeroAllocs(t *testing.T) {
+	h := newTestHierarchy(mem.Separated)
+	pingPong := func() {
+		h.Access(mem.NodeX86, 0, Write, 0x2000, 8)
+		h.Access(mem.NodeArm, 0, Read, 0x2000, 8)
+		h.Access(mem.NodeArm, 0, Write, 0x2000, 8)
+		h.Access(mem.NodeX86, 0, Read, 0x2000, 8)
+	}
+	pingPong()
+	allocs := testing.AllocsPerRun(200, pingPong)
+	if allocs != 0 {
+		t.Errorf("snoop path allocates %.2f objects per ping-pong, want 0", allocs)
+	}
+}

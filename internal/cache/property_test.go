@@ -14,7 +14,7 @@ import (
 // and a Modified line always has an owner.
 func checkMESI(t *testing.T, h *Hierarchy, step int) {
 	t.Helper()
-	for ln, e := range h.dir {
+	h.dir.forEach(func(ln lineAddr, e *dirEntry) {
 		if e.modified && e.owner == -1 {
 			t.Fatalf("step %d: line %#x is Modified with no owner", step, ln)
 		}
@@ -34,7 +34,7 @@ func checkMESI(t *testing.T, h *Hierarchy, step int) {
 			t.Fatalf("step %d: line %#x shared by both nodes but owner=%d modified=%v",
 				step, ln, e.owner, e.modified)
 		}
-	}
+	})
 }
 
 // candidateLines builds a small pool of addresses drawn from every region
@@ -95,17 +95,17 @@ func TestMESIInvariantRandomSchedules(t *testing.T) {
 					checkMESI(t, h, step)
 				}
 				// Directory state must also agree with the public view.
-				for ln, e := range h.dir {
+				h.dir.forEach(func(ln lineAddr, e *dirEntry) {
 					pa := mem.PhysAddr(ln) * mem.LineSize
 					for n := 0; n < 2; n++ {
 						if h.HoldsLine(mem.NodeID(n), pa) != e.holders[n] {
 							t.Fatalf("HoldsLine(%d, %#x) disagrees with directory", n, pa)
 						}
 					}
-					if h.OwnerOf(pa) != e.owner {
+					if h.OwnerOf(pa) != int(e.owner) {
 						t.Fatalf("OwnerOf(%#x) = %d, directory says %d", pa, h.OwnerOf(pa), e.owner)
 					}
-				}
+				})
 			}
 		})
 	}

@@ -177,6 +177,21 @@ func (pt *Port) Write(addr mem.PhysAddr, data []byte) {
 	pt.Plat.Phys.Write(addr, data)
 }
 
+// ReadUint loads up to 8 bytes at addr, little-endian, without allocating.
+// The cache model is charged for the full n bytes, exactly like Read; only
+// the data-movement side differs (a register value instead of a slice).
+func (pt *Port) ReadUint(addr mem.PhysAddr, n int) uint64 {
+	pt.charge(cache.Read, addr, n)
+	return pt.Plat.Phys.ReadUint(addr, n)
+}
+
+// WriteUint stores n bytes of v at addr, little-endian, without allocating
+// (bytes past the eighth are written as zero). Charged exactly like Write.
+func (pt *Port) WriteUint(addr mem.PhysAddr, n int, v uint64) {
+	pt.charge(cache.Write, addr, n)
+	pt.Plat.Phys.WriteUint(addr, n, v)
+}
+
 // Read64 loads a 64-bit little-endian word.
 func (pt *Port) Read64(addr mem.PhysAddr) uint64 {
 	pt.charge(cache.Read, addr, 8)

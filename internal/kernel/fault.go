@@ -82,7 +82,7 @@ func VMALookupCost(pt *hw.Port, ctrlPage mem.PhysAddr, treeSize int) {
 		probes++
 	}
 	for i := 0; i < probes; i++ {
-		pt.Read(ctrlPage+mem.PhysAddr((i*3%63)*mem.LineSize), 8)
+		pt.ReadUint(ctrlPage+mem.PhysAddr((i*3%63)*mem.LineSize), 8)
 	}
 }
 
@@ -275,6 +275,6 @@ func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(me
 // modelling pointer-chasing through kernel objects.
 func TouchStructure(pt *hw.Port, base mem.PhysAddr, lines int) {
 	for i := 0; i < lines; i++ {
-		pt.Read(base+mem.PhysAddr(i*mem.LineSize), 8)
+		pt.ReadUint(base+mem.PhysAddr(i*mem.LineSize), 8)
 	}
 }

@@ -151,17 +151,17 @@ func (p *Process) FlushTLB(node mem.NodeID, va pgtable.VirtAddr) {
 	pva := va &^ (mem.PageSize - 1)
 	for _, t := range p.Tasks {
 		if t.Node == node {
-			delete(t.tlb[node], pva)
+			t.tlb[node].invalidate(pva)
 		}
 	}
 }
 
 // FlushAllTLBs drops every cached translation on all tasks (migration,
-// exit).
+// exit). Entries are invalidated in place — no reallocation, no garbage.
 func (p *Process) FlushAllTLBs() {
 	for _, t := range p.Tasks {
 		for n := range t.tlb {
-			t.tlb[n] = make(map[pgtable.VirtAddr]tlbEntry)
+			t.tlb[n].invalidateAll()
 		}
 	}
 }

@@ -11,12 +11,6 @@ import (
 	"repro/internal/trace"
 )
 
-// tlbEntry caches a virtual-to-physical translation on one node.
-type tlbEntry struct {
-	frame    mem.PhysAddr
-	writable bool
-}
-
 // TaskStats counts per-task events for the evaluation breakdowns.
 type TaskStats struct {
 	Loads, Stores   int64
@@ -56,8 +50,9 @@ type Task struct {
 	Port *hw.Port
 
 	// tlb caches translations per node; flushed on migration and shot down
-	// on PTE downgrades.
-	tlb [2]map[pgtable.VirtAddr]tlbEntry
+	// on PTE downgrades. Direct-mapped array TLBs (tlb.go): lookups are a
+	// mask and a tag compare, flushes invalidate in place.
+	tlb [2]taskTLB
 
 	// CodeWin models the instruction footprint of the running phase.
 	CodeWin *hw.CodeWindow
@@ -116,8 +111,6 @@ func NewTask(name string, proc *Process, os OS, ctx *Context, th *sim.Thread) *T
 		Th:   th,
 	}
 	t.Port = ctx.Plat.NewPort(t.Node, t.Core, th)
-	t.tlb[0] = make(map[pgtable.VirtAddr]tlbEntry)
-	t.tlb[1] = make(map[pgtable.VirtAddr]tlbEntry)
 	t.CodeWin = hw.NewCodeWindow(0x1000, 8<<10)
 	t.bindStart = th.Now()
 	proc.Tasks = append(proc.Tasks, t)
@@ -146,8 +139,8 @@ func (t *Task) NodeTime(node mem.NodeID) sim.Cycles {
 // shootdown completes).
 func (t *Task) tryTranslate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, bool) {
 	pva := va &^ (mem.PageSize - 1)
-	if e, ok := t.tlb[t.Node][pva]; ok && (!write || e.writable) {
-		return e.frame + mem.PhysAddr(va-pva), true
+	if fr, writable, ok := t.tlb[t.Node].lookup(pva); ok && (!write || writable) {
+		return fr + mem.PhysAddr(va-pva), true
 	}
 	t.Stats.TLBMisses++
 	tbl := t.Proc.Tables[t.Node]
@@ -159,7 +152,7 @@ func (t *Task) tryTranslate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, bool
 		return 0, false
 	}
 	fr := mem.PhysAddr(pfn << mem.PageShift)
-	t.tlb[t.Node][pva] = tlbEntry{frame: fr, writable: perms.Write}
+	t.tlb[t.Node].insert(pva, fr, perms.Write)
 	return fr + mem.PhysAddr(va-pva), true
 }
 
@@ -167,16 +160,23 @@ func (t *Task) tryTranslate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, bool
 // simulation scheduler, taking OS faults (outside the atomic section) as
 // needed.
 func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr)) error {
+	t.Th.BeginAtomic()
+	if pa, ok := t.tryTranslate(va, write); ok {
+		fn(pa)
+		t.Th.EndAtomic()
+		return nil
+	}
+	t.Th.EndAtomic()
+	return t.accessAfterMiss(va, write, fn)
+}
+
+// accessAfterMiss is the fault-handling continuation of access: the
+// caller's first translation attempt has already failed (and charged its
+// walk), so the sequence of walks and faults — try, fault, try, fault … up
+// to four of each — is exactly the one the pre-split loop performed.
+func (t *Task) accessAfterMiss(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr)) error {
 	pva := va &^ (mem.PageSize - 1)
 	for attempt := 0; attempt < 4; attempt++ {
-		t.Th.BeginAtomic()
-		if pa, ok := t.tryTranslate(va, write); ok {
-			fn(pa)
-			t.Th.EndAtomic()
-			return nil
-		}
-		t.Th.EndAtomic()
-
 		start := t.Th.Now()
 		if write {
 			t.Stats.WriteFaults++
@@ -196,6 +196,16 @@ func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr))
 				Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
 				VA: uint64(pva), Arg: wr, Cost: int64(t.Th.Now() - start)})
 		}
+		if attempt == 3 {
+			break
+		}
+		t.Th.BeginAtomic()
+		if pa, ok := t.tryTranslate(va, write); ok {
+			fn(pa)
+			t.Th.EndAtomic()
+			return nil
+		}
+		t.Th.EndAtomic()
 	}
 	return fmt.Errorf("kernel: fault loop at %#x on %v", va, t.Node)
 }
@@ -209,33 +219,45 @@ func (t *Task) translate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, error) 
 	return out, err
 }
 
-// Load reads size bytes at va (size <= 8 returns the value).
+// Load reads size bytes at va (size <= 8 returns the value). The TLB-hit
+// case is specialized: translation and data read run directly in the
+// atomic section, with no closure indirection; the fault path falls back
+// to the shared continuation.
 func (t *Task) Load(va pgtable.VirtAddr, size int) (uint64, error) {
 	t.Stats.Loads++
 	t.Stats.NodeInstructions[t.Node]++
 	start := t.Th.Now()
+	t.Th.BeginAtomic()
+	if pa, ok := t.tryTranslate(va, false); ok {
+		out := t.Port.ReadUint(pa, size)
+		t.Th.EndAtomic()
+		t.Stats.MemAccessCycles += t.Th.Now() - start
+		return out, nil
+	}
+	t.Th.EndAtomic()
 	var out uint64
-	err := t.access(va, false, func(pa mem.PhysAddr) {
-		b := t.Port.Read(pa, size)
-		for i := 0; i < len(b) && i < 8; i++ {
-			out |= uint64(b[i]) << (8 * uint(i))
-		}
+	err := t.accessAfterMiss(va, false, func(pa mem.PhysAddr) {
+		out = t.Port.ReadUint(pa, size)
 	})
 	t.Stats.MemAccessCycles += t.Th.Now() - start
 	return out, err
 }
 
-// Store writes size bytes of v at va.
+// Store writes size bytes of v at va (fast path as in Load).
 func (t *Task) Store(va pgtable.VirtAddr, size int, v uint64) error {
 	t.Stats.Stores++
 	t.Stats.NodeInstructions[t.Node]++
 	start := t.Th.Now()
-	b := make([]byte, size)
-	for i := 0; i < size && i < 8; i++ {
-		b[i] = byte(v >> (8 * uint(i)))
+	t.Th.BeginAtomic()
+	if pa, ok := t.tryTranslate(va, true); ok {
+		t.Port.WriteUint(pa, size, v)
+		t.Th.EndAtomic()
+		t.Stats.MemAccessCycles += t.Th.Now() - start
+		return nil
 	}
-	err := t.access(va, true, func(pa mem.PhysAddr) {
-		t.Port.Write(pa, b)
+	t.Th.EndAtomic()
+	err := t.accessAfterMiss(va, true, func(pa mem.PhysAddr) {
+		t.Port.WriteUint(pa, size, v)
 	})
 	t.Stats.MemAccessCycles += t.Th.Now() - start
 	return err
@@ -330,12 +352,12 @@ func (t *Task) Rebind(node mem.NodeID) {
 	t.Node = node
 	t.Port = t.Ctx.Plat.NewPort(node, t.Core, t.Th)
 	// The new CPU's TLB is cold for this task.
-	t.tlb[node] = make(map[pgtable.VirtAddr]tlbEntry)
+	t.tlb[node].invalidateAll()
 }
 
 // InvalidateTLB drops the cached translation of va on this task.
 func (t *Task) InvalidateTLB(node mem.NodeID, va pgtable.VirtAddr) {
-	delete(t.tlb[node], va&^(mem.PageSize-1))
+	t.tlb[node].invalidate(va &^ (mem.PageSize - 1))
 }
 
 // Exit terminates the task through the OS personality.

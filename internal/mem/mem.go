@@ -28,6 +28,9 @@ const PageShift = 12
 // QEMU instances run on one x86 host, lines are 64 B).
 const LineSize = 64
 
+// LineShift is log2(LineSize); address-to-line conversion is a shift.
+const LineShift = 6
+
 // NodeID identifies a processor complex (one per ISA).
 type NodeID int
 
