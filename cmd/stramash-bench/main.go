@@ -25,7 +25,8 @@
 //
 // Experiment ids: table2, fig5-6-small, fig5-6-big, fig7-small, fig7-big,
 // fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14,
-// ablation-remote-alloc, ablation-ipi.
+// ablation-remote-alloc, ablation-ipi. Reproduction-only extras (run via
+// -only, excluded from the default full run): multicore.
 package main
 
 import (
@@ -54,6 +55,9 @@ func main() {
 
 	if *list {
 		for _, s := range experiments.All() {
+			fmt.Println(s.ID)
+		}
+		for _, s := range experiments.Extra() {
 			fmt.Println(s.ID)
 		}
 		return

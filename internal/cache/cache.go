@@ -192,6 +192,14 @@ type Stats struct {
 	EvictionsL3        int64
 }
 
+// CoreStats is the per-core slice of the private-cache counters: which
+// core issued the accesses and where its L1s hit. Multi-core experiments
+// read it to prove every configured core was exercised.
+type CoreStats struct {
+	L1IAccesses, L1IHits int64
+	L1DAccesses, L1DHits int64
+}
+
 // HitRate returns hits/accesses for the given counters, or 0 for no accesses.
 func HitRate(hits, accesses int64) float64 {
 	if accesses == 0 {

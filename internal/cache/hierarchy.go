@@ -151,6 +151,9 @@ type nodeCaches struct {
 	l1i, l1d, l2 []*level // indexed by core
 	l3           *level   // nil when the machine uses a shared L3
 	stats        Stats
+	// coreStats splits the private-cache counters by accessing core, the
+	// evidence that a multi-core run actually exercised each core.
+	coreStats []CoreStats
 }
 
 // Hierarchy is the machine-wide memory system timing model.
@@ -187,7 +190,7 @@ type Hierarchy struct {
 func NewHierarchy(cfg Config, layout *mem.Layout) *Hierarchy {
 	h := &Hierarchy{cfg: cfg, layout: layout, dir: newDirTable()}
 	for n := 0; n < 2; n++ {
-		nc := &nodeCaches{}
+		nc := &nodeCaches{coreStats: make([]CoreStats, cfg.Nodes[n].Cores)}
 		h.hints[n] = make([]dirHint, cfg.Nodes[n].Cores)
 		for c := 0; c < cfg.Nodes[n].Cores; c++ {
 			nc.l1i = append(nc.l1i, newLevel(cfg.Nodes[n].L1I))
@@ -211,11 +214,49 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Stats returns a snapshot of node n's counters.
 func (h *Hierarchy) Stats(n mem.NodeID) Stats { return h.nodes[n].stats }
 
+// CoreStats returns a snapshot of the per-core private-cache counters of
+// core c on node n.
+func (h *Hierarchy) CoreStats(n mem.NodeID, c int) CoreStats { return h.nodes[n].coreStats[c] }
+
 // ResetStats zeroes all counters without disturbing cache contents.
 func (h *Hierarchy) ResetStats() {
 	for _, nc := range h.nodes {
 		nc.stats = Stats{}
+		for i := range nc.coreStats {
+			nc.coreStats[i] = CoreStats{}
+		}
 	}
+}
+
+// CheckMESI validates the MESI safety invariant (DESIGN.md §5, invariant
+// 1) against the coherence directory: at most one node holds a line
+// Modified/Exclusive, an M/E holder is the line's only holder (Shared
+// never coexists with M/E elsewhere), and a Modified line always has an
+// owner. It returns the first violation found, or nil. Tests and
+// experiments may call it at any quiescent point; it reads only directory
+// state and charges no simulated cycles.
+func (h *Hierarchy) CheckMESI() error {
+	var err error
+	h.dir.forEach(func(ln lineAddr, e *dirEntry) {
+		if err != nil {
+			return
+		}
+		switch {
+		case e.modified && e.owner == -1:
+			err = fmt.Errorf("cache: line %#x is Modified with no owner", ln)
+		case e.owner != -1 && e.owner != 0 && e.owner != 1:
+			err = fmt.Errorf("cache: line %#x has invalid owner %d", ln, e.owner)
+		case e.owner != -1 && !e.holders[e.owner]:
+			err = fmt.Errorf("cache: line %#x owned M/E by node %d which is not a holder", ln, e.owner)
+		case e.owner != -1 && e.holders[1-e.owner]:
+			err = fmt.Errorf("cache: line %#x held M/E by node %d while node %d also holds it (S coexists with M/E)",
+				ln, e.owner, 1-e.owner)
+		case e.holders[0] && e.holders[1] && (e.owner != -1 || e.modified):
+			err = fmt.Errorf("cache: line %#x shared by both nodes but owner=%d modified=%v",
+				ln, e.owner, e.modified)
+		}
+	})
+	return err
 }
 
 // TraceContext records the accessing thread's current cycle and id so
@@ -280,11 +321,14 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 	isWrite := kind == Write
 
 	l1 := nc.l1d[core]
+	cs := &nc.coreStats[core]
 	if kind == Ifetch {
 		l1 = nc.l1i[core]
 		st.L1IAccesses++
+		cs.L1IAccesses++
 	} else {
 		st.L1DAccesses++
+		cs.L1DAccesses++
 		st.MemAccesses++
 	}
 
@@ -306,8 +350,10 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			w.used = h.tick
 			if kind == Ifetch {
 				st.L1IHits++
+				cs.L1IHits++
 			} else {
 				st.L1DHits++
+				cs.L1DHits++
 			}
 			st.CacheHitLatency += lat.L1
 			st.TotalLatency += lat.L1
@@ -371,6 +417,7 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			w.used = h.tick
 			w.dirty = true
 			st.L1DHits++
+			cs.L1DHits++
 			cost += lat.L1
 			st.CacheHitLatency += lat.L1
 			st.TotalLatency += cost

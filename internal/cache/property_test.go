@@ -8,33 +8,13 @@ import (
 	"repro/internal/sim"
 )
 
-// checkMESI asserts DESIGN invariant 1 against the coherence directory:
-// at most one node holds a line Modified/Exclusive, an M/E holder is the
-// line's only holder (so Shared never coexists with Modified elsewhere),
-// and a Modified line always has an owner.
+// checkMESI asserts DESIGN invariant 1 (the exported Hierarchy.CheckMESI)
+// at one step of a schedule.
 func checkMESI(t *testing.T, h *Hierarchy, step int) {
 	t.Helper()
-	h.dir.forEach(func(ln lineAddr, e *dirEntry) {
-		if e.modified && e.owner == -1 {
-			t.Fatalf("step %d: line %#x is Modified with no owner", step, ln)
-		}
-		if e.owner != -1 {
-			if e.owner != 0 && e.owner != 1 {
-				t.Fatalf("step %d: line %#x has invalid owner %d", step, ln, e.owner)
-			}
-			if !e.holders[e.owner] {
-				t.Fatalf("step %d: line %#x owned M/E by node %d which is not a holder", step, ln, e.owner)
-			}
-			if e.holders[1-e.owner] {
-				t.Fatalf("step %d: line %#x held M/E by node %d while node %d also holds it (S coexists with M/E)",
-					step, ln, e.owner, 1-e.owner)
-			}
-		}
-		if e.holders[0] && e.holders[1] && (e.owner != -1 || e.modified) {
-			t.Fatalf("step %d: line %#x shared by both nodes but owner=%d modified=%v",
-				step, ln, e.owner, e.modified)
-		}
-	})
+	if err := h.CheckMESI(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
 }
 
 // candidateLines builds a small pool of addresses drawn from every region

@@ -35,9 +35,26 @@ func All() []Spec {
 	}
 }
 
-// Find returns the spec with the given id.
+// Extra returns the runners that are not part of the paper's evaluation
+// and therefore not in the default full run (whose output is pinned by
+// experiments_full.txt): reproduction-only experiments built on machinery
+// the paper did not sweep. They are addressable by -only and listed by
+// -list like any other spec.
+func Extra() []Spec {
+	return []Spec{
+		{"multicore", func(s Scale) (Result, error) { return Multicore(s) }},
+	}
+}
+
+// Find returns the spec with the given id, searching the paper set and the
+// extras.
 func Find(id string) (Spec, bool) {
 	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	for _, s := range Extra() {
 		if s.ID == id {
 			return s, true
 		}

@@ -158,9 +158,25 @@ func (v *Vanilla) HandleFault(t *Task, va pgtable.VirtAddr, write bool) error {
 	if err != nil {
 		return err
 	}
+	// Racing faults: a sibling task of the same process can install this
+	// page while the zeroing above yields. Re-check and install atomically —
+	// the simulated equivalent of re-checking under the page-table lock —
+	// so a racer that has already mapped and stored can never have its
+	// frame orphaned by a later remap.
+	t.Th.BeginAtomic()
+	if meta.Valid[t.Node] {
+		t.Th.EndAtomic()
+		if err := k.Alloc.Free(frame); err != nil {
+			return err
+		}
+		t.Th.Advance(AllocCost)
+		return nil
+	}
 	meta.FrameOwner[t.Node] = t.Node
 	writable := true
-	if _, err := MapFrame(v.Ctx, t.Port, t.Proc, t.Node, va, frame, writable); err != nil {
+	_, err = MapFrame(v.Ctx, t.Port, t.Proc, t.Node, va, frame, writable)
+	t.Th.EndAtomic()
+	if err != nil {
 		return err
 	}
 	t.Proc.FaultsHandled[t.Node]++
@@ -189,7 +205,7 @@ func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) er
 	f.Unlock(t.Port)
 	t.Stats.FutexWaits++
 	blockStart := t.Th.Now()
-	t.Th.Block("futex")
+	t.Sleep("futex")
 	if tr := v.Ctx.Plat.Tracer; tr != nil {
 		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
 			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
@@ -205,7 +221,7 @@ func (v *Vanilla) FutexWake(t *Task, uaddr pgtable.VirtAddr, n int) (int, error)
 	woken := f.Dequeue(t.Port, n)
 	f.Unlock(t.Port)
 	for _, w := range woken {
-		v.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+500)
+		w.Awaken(t.Th.Now() + 500)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
 	if tr := v.Ctx.Plat.Tracer; tr != nil {

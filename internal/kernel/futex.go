@@ -57,12 +57,19 @@ func (ft *FutexTable) Get(pid int, uaddr pgtable.VirtAddr) *Futex {
 }
 
 // Lock acquires the futex control lock with a CAS spin through pt,
-// charging realistic contention costs.
+// charging realistic contention costs. Like a kernel spinlock, holding the
+// control lock disables CPU preemption (re-enabled by Unlock): a task must
+// not be descheduled while it holds the lock — a queued waiter spinning
+// for it would deadlock the core — and keeping preemption off through the
+// enqueue-to-sleep window guarantees a futex wake is never consumed by a
+// run-queue block. The spin itself stays preemptible.
 func (f *Futex) Lock(pt *hw.Port) {
 	for i := 0; ; i++ {
+		pt.T.DisablePreempt()
 		if _, ok := pt.CompareAndSwap64(f.Control, 0, 1); ok {
 			return
 		}
+		pt.T.EnablePreempt()
 		pt.T.Advance(50) // backoff
 		pt.T.YieldPoint()
 		if i > 1_000_000 {
@@ -71,9 +78,10 @@ func (f *Futex) Lock(pt *hw.Port) {
 	}
 }
 
-// Unlock releases the control lock.
+// Unlock releases the control lock and re-enables preemption.
 func (f *Futex) Unlock(pt *hw.Port) {
 	pt.Write64(f.Control, 0)
+	pt.T.EnablePreempt()
 }
 
 // Enqueue appends t to the waiter list, charging the list update. The

@@ -49,6 +49,19 @@ type Task struct {
 	Th   *sim.Thread
 	Port *hw.Port
 
+	// Sched is the kernel CPU scheduler the task is attached to, nil for
+	// bare tasks (unit tests, setup threads). State is the scheduler's view
+	// of the task; cpu is the CPU it currently occupies.
+	Sched *Scheduler
+	State TaskState
+	cpu   *CPU
+
+	// dispatchAt is when the task last started occupying its CPU (feeds
+	// utilization); sliceStart/sliceInstr anchor the round-robin quantum.
+	dispatchAt sim.Cycles
+	sliceStart sim.Cycles
+	sliceInstr int64
+
 	// tlb caches translations per node; flushed on migration and shot down
 	// on PTE downgrades. Direct-mapped array TLBs (tlb.go): lookups are a
 	// mask and a tag compare, flushes invalidate in place.
@@ -100,14 +113,20 @@ func (t *Task) TimedStats() TaskStats {
 }
 
 // NewTask binds a simulated thread to a process under an OS personality.
-// The task starts on the process's origin node.
+// The task starts on the process's origin node, core 0.
 func NewTask(name string, proc *Process, os OS, ctx *Context, th *sim.Thread) *Task {
+	return NewTaskOn(name, proc, os, ctx, th, 0)
+}
+
+// NewTaskOn is NewTask with explicit core placement on the origin node.
+func NewTaskOn(name string, proc *Process, os OS, ctx *Context, th *sim.Thread, core int) *Task {
 	t := &Task{
 		Name: name,
 		Proc: proc,
 		OS:   os,
 		Ctx:  ctx,
 		Node: proc.Origin,
+		Core: core,
 		Th:   th,
 	}
 	t.Port = ctx.Plat.NewPort(t.Node, t.Core, th)
@@ -115,6 +134,33 @@ func NewTask(name string, proc *Process, os OS, ctx *Context, th *sim.Thread) *T
 	t.bindStart = th.Now()
 	proc.Tasks = append(proc.Tasks, t)
 	return t
+}
+
+// instrTotal is the task's retired-instruction count across both nodes, the
+// deterministic counter the scheduler's round-robin quantum is measured in.
+func (t *Task) instrTotal() int64 {
+	return t.Stats.NodeInstructions[0] + t.Stats.NodeInstructions[1]
+}
+
+// Sleep parks the task until Awaken. Scheduled tasks go through the kernel
+// scheduler (releasing their CPU while asleep and re-acquiring it on wake);
+// bare tasks fall back to parking the simulated thread directly.
+func (t *Task) Sleep(reason string) {
+	if t.Sched != nil {
+		t.Sched.Sleep(t, reason)
+		return
+	}
+	t.Th.Block(reason)
+}
+
+// Awaken makes a sleeping task runnable at simulated time when (the moment
+// the wake-up reaches it). Runs on the waker's thread.
+func (t *Task) Awaken(when sim.Cycles) {
+	if t.Sched != nil {
+		t.Sched.Awaken(t, when)
+		return
+	}
+	t.Ctx.Plat.Engine.Wake(t.Th, when)
 }
 
 // accountResidency closes the current node-residency interval.
@@ -346,10 +392,15 @@ func (t *Task) Migrate(to mem.NodeID) error {
 }
 
 // Rebind switches the task's hardware binding to node (called by OS
-// personalities at the end of their migration protocol).
+// personalities at the end of their migration protocol). For scheduled
+// tasks the move is a dequeue from the origin CPU and an enqueue on the
+// destination CPU — the run-queue expression of cross-node migration.
 func (t *Task) Rebind(node mem.NodeID) {
 	t.accountResidency()
 	t.Node = node
+	if t.Sched != nil {
+		t.Sched.migrated(t)
+	}
 	t.Port = t.Ctx.Plat.NewPort(node, t.Core, t.Th)
 	// The new CPU's TLB is cold for this task.
 	t.tlb[node].invalidateAll()

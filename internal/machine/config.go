@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// MaxCores is the per-node core-count ceiling. The evaluation platform
+// (Xeon Gold 6230T x ThunderX2 CN9980) tops out at 32 physical cores per
+// socket; 64 leaves headroom for SMT-style sweeps while keeping the
+// per-core cache arrays and run-queue scans cheap.
+const MaxCores = 64
+
+// ConfigError reports an invalid Config field. It is the typed error New
+// returns instead of silently clamping or defaulting a bad value.
+type ConfigError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("machine: config field %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration before any hardware is built. Zero
+// values mean "use the default" and are always valid; out-of-range values
+// produce a *ConfigError naming the field.
+func (c *Config) Validate() error {
+	if c.Cores < 0 {
+		return &ConfigError{Field: "Cores", Value: c.Cores, Reason: "must not be negative"}
+	}
+	if c.Cores > MaxCores {
+		return &ConfigError{Field: "Cores", Value: c.Cores,
+			Reason: fmt.Sprintf("exceeds MaxCores (%d)", MaxCores)}
+	}
+	if c.OS < VanillaOS || c.OS > StramashOS {
+		return &ConfigError{Field: "OS", Value: c.OS, Reason: "unknown OS kind"}
+	}
+	if c.Sched != kernel.SchedShared && c.Sched != kernel.SchedTimeSlice {
+		return &ConfigError{Field: "Sched", Value: c.Sched, Reason: "unknown scheduling policy"}
+	}
+	if c.SchedQuantum < 0 {
+		return &ConfigError{Field: "SchedQuantum", Value: c.SchedQuantum, Reason: "must not be negative"}
+	}
+	if c.L3Size < 0 {
+		return &ConfigError{Field: "L3Size", Value: c.L3Size, Reason: "must not be negative"}
+	}
+	if c.L2Size < 0 {
+		return &ConfigError{Field: "L2Size", Value: c.L2Size, Reason: "must not be negative"}
+	}
+	if c.L3PerNode != nil && (c.L3PerNode[0] < 0 || c.L3PerNode[1] < 0) {
+		return &ConfigError{Field: "L3PerNode", Value: *c.L3PerNode, Reason: "must not be negative"}
+	}
+	if c.IPIMicros < 0 {
+		return &ConfigError{Field: "IPIMicros", Value: c.IPIMicros, Reason: "must not be negative"}
+	}
+	if c.NetRTTMicros < 0 {
+		return &ConfigError{Field: "NetRTTMicros", Value: c.NetRTTMicros, Reason: "must not be negative"}
+	}
+	for n := 0; n < 2; n++ {
+		if c.CPI[n] < 0 {
+			return &ConfigError{Field: "CPI", Value: c.CPI[n], Reason: "must not be negative"}
+		}
+		if c.ClockHz[n] < 0 {
+			return &ConfigError{Field: "ClockHz", Value: c.ClockHz[n], Reason: "must not be negative"}
+		}
+	}
+	return nil
+}

@@ -66,8 +66,18 @@ type Config struct {
 	// cache-sensitivity experiments shrink the hierarchy so the scaled
 	// working sets exercise the same capacity effects as the originals.
 	L2Size int
-	// Cores per node (default 1, like the single-thread NPB runs).
+	// Cores per node (default 1, like the single-thread NPB runs; zero
+	// selects the default). Negative values and values above MaxCores are
+	// rejected by Validate with a *ConfigError.
 	Cores int
+	// Sched selects the CPU scheduling policy. The default, SchedShared,
+	// reproduces the pre-scheduler behaviour exactly (CPUs are bookkeeping
+	// only and charge nothing); SchedTimeSlice enforces one task per core
+	// with round-robin preemption.
+	Sched kernel.SchedPolicy
+	// SchedQuantum is the round-robin slice in retired instructions
+	// (SchedTimeSlice only; zero selects kernel.DefaultSchedQuantum).
+	SchedQuantum int64
 	// IPIMicros / NetRTTMicros override latency constants (defaults 2/75).
 	IPIMicros    float64
 	NetRTTMicros float64
@@ -106,12 +116,18 @@ type Machine struct {
 	Ctx  *kernel.Context
 	Msgr *interconnect.Messenger
 	OS   FullOS
+	// Sched is the kernel CPU scheduler every task created by RunTasks
+	// attaches to: per-core run queues over both nodes' cores.
+	Sched *kernel.Scheduler
 
 	procs map[string]*kernel.Process
 }
 
 // New builds and boots a machine.
 func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Cores == 0 {
 		cfg.Cores = 1
 	}
@@ -158,6 +174,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	ctx.Kernels = [2]*kernel.Kernel{x86k, armk}
 	m.Ctx = ctx
+	m.Sched = kernel.NewScheduler(ctx, cfg.Sched, cfg.SchedQuantum)
 
 	// Initialize the messaging layer and the personality inside a boot
 	// thread (ring setup needs a clocked port).
@@ -227,6 +244,8 @@ type TaskSpec struct {
 	Name string
 	// Origin is the node the task's process originates on.
 	Origin mem.NodeID
+	// Core is the CPU (on Origin) the task is scheduled on (default 0).
+	Core int
 	// ProcKey shares one process among specs with the same non-empty key.
 	ProcKey string
 	// Start is the task thread's starting time.
@@ -253,11 +272,20 @@ func (r Result) Elapsed() sim.Cycles { return r.End - r.Start }
 // completion under the simulation engine, and returns per-task results in
 // spec order.
 func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
-	// Phase 1: create processes in a setup thread.
+	for _, s := range specs {
+		if s.Core < 0 || s.Core >= m.Sched.Cores(s.Origin) {
+			return nil, fmt.Errorf("machine: task %q placed on %v core %d (node has %d cores)",
+				s.Name, s.Origin, s.Core, m.Sched.Cores(s.Origin))
+		}
+	}
+
+	// Phase 1: create processes in a setup thread. Process creation runs on
+	// the origin node's CPU 0 — an Arm-origin process is set up by the Arm
+	// kernel through Arm caches, not by the x86 boot CPU.
 	var setupErr error
 	procFor := make([]*kernel.Process, len(specs))
 	m.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
-		pt := m.Plat.NewPort(mem.NodeX86, 0, th)
+		var ports [2]*hw.Port
 		for i, s := range specs {
 			if s.ProcKey != "" {
 				if p, ok := m.procs[s.ProcKey]; ok && p.Origin == s.Origin {
@@ -265,7 +293,10 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 					continue
 				}
 			}
-			p, err := m.OS.CreateProcess(pt, s.Origin)
+			if ports[s.Origin] == nil {
+				ports[s.Origin] = m.Plat.NewPort(s.Origin, 0, th)
+			}
+			p, err := m.OS.CreateProcess(ports[s.Origin], s.Origin)
 			if err != nil {
 				setupErr = err
 				return
@@ -289,14 +320,16 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 		i, s := i, s
 		proc := procFor[i]
 		m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
-			t := kernel.NewTask(s.Name, proc, m.OS, m.Ctx, th)
+			t := kernel.NewTaskOn(s.Name, proc, m.OS, m.Ctx, th, s.Core)
 			results[i].Name = s.Name
 			results[i].Start = s.Start
 			results[i].Task = t
+			m.Sched.Attach(t)
 			err := s.Body(t)
 			if err == nil && !s.KeepAlive {
 				err = t.Exit()
 			}
+			m.Sched.Detach(t)
 			results[i].Err = err
 			results[i].End = th.Now()
 		})

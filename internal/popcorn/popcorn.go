@@ -475,6 +475,11 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 	} else {
 		o.Stats.FutexRPCs++
 		o.emit(t, trace.KindFutexRPC, uaddr, 0)
+		// The waiter is enqueued origin-side partway through the RPC, so
+		// from that point until the sleep below the task must not be
+		// preempted — a run-queue block would swallow a wake that arrives
+		// during the RPC's response leg.
+		t.Th.DisablePreempt()
 		o.Msgr.RPC(t.Port, func(originPt *hw.Port, r []byte) []byte {
 			f.Lock(originPt)
 			val, err := kernel.FutexLoadValue(o.Ctx, originPt, t.Proc, uaddr)
@@ -489,13 +494,14 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 			f.Unlock(originPt)
 			return make([]byte, 16)
 		}, req(opFutexWait, t.Proc.PID, uaddr, expected))
+		t.Th.EnablePreempt()
 		if werr != nil {
 			return werr
 		}
 	}
 	t.Stats.FutexWaits++
 	blockStart := t.Th.Now()
-	t.Th.Block("futex")
+	t.Sleep("futex")
 	if tr := o.Ctx.Plat.Tracer; tr != nil {
 		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
 			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
@@ -530,7 +536,7 @@ func (o *OS) FutexWake(t *kernel.Task, uaddr pgtable.VirtAddr, n int) (int, erro
 			o.Msgr.Notify(o.Ctx.Plat.NewPort(t.Proc.Origin, 0, t.Th), make([]byte, 64))
 		}
 		wakeLat := o.Ctx.Plat.Clock(w.Node).FromMicros(o.Ctx.Plat.Cfg.IPIMicros)
-		o.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+wakeLat)
+		w.Awaken(t.Th.Now() + wakeLat)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
 	o.emit(t, trace.KindFutexWake, uaddr, int64(len(woken)))

@@ -102,6 +102,16 @@ type Thread struct {
 	// atomicDepth suppresses scheduler yields while > 0 (BeginAtomic).
 	atomicDepth int
 
+	// preempt, when non-nil, runs at every yield point after the thread
+	// regains the execution token. A software scheduler built above the
+	// engine (the kernel's CPU scheduler) installs it to implement
+	// time-slicing: the hook may Block the thread to hand its simulated
+	// CPU to another task. It never fires inside an atomic section
+	// (YieldPoint returns early there) and never fires reentrantly.
+	preempt    func()
+	inPreempt  bool
+	preemptOff int
+
 	// wakePending records a Wake that arrived while the thread was not
 	// blocked (e.g. between a futex enqueue and the Block call). The next
 	// Block consumes it and returns immediately — the classic "wake beats
@@ -173,7 +183,36 @@ func (t *Thread) YieldPoint() {
 	t.yield <- struct{}{}
 	<-t.resume
 	t.state = stateRunning
+	if t.preempt != nil && !t.inPreempt && t.preemptOff == 0 {
+		t.inPreempt = true
+		t.preempt()
+		t.inPreempt = false
+	}
 }
+
+// DisablePreempt suppresses the preemption hook (not the yield itself)
+// until a matching EnablePreempt. Sections nest. Kernel code uses it the
+// way real kernels disable preemption while holding a spinlock: a task
+// must not be descheduled while it holds a simulated kernel lock, or while
+// it sits in the window between a futex enqueue and its sleep, where a
+// preemption could consume the wake-up destined for the futex Block.
+func (t *Thread) DisablePreempt() { t.preemptOff++ }
+
+// EnablePreempt leaves a DisablePreempt section.
+func (t *Thread) EnablePreempt() {
+	if t.preemptOff == 0 {
+		panic(fmt.Sprintf("sim: thread %q EnablePreempt without DisablePreempt", t.Name))
+	}
+	t.preemptOff--
+}
+
+// SetPreempt installs (or, with nil, removes) the thread's preemption
+// hook. The hook runs at every yield point outside atomic sections, on the
+// thread's own goroutine while it holds the execution token, so it may
+// consult simulated state and call Block to give up the CPU. Installing a
+// hook that never blocks and charges no cycles leaves the simulated
+// timeline untouched.
+func (t *Thread) SetPreempt(h func()) { t.preempt = h }
 
 // Block parks the thread until another thread calls Engine.Wake. If a Wake
 // already arrived since the thread last ran (wake-beats-sleep), Block

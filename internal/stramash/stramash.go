@@ -366,7 +366,7 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 	f.Unlock(t.Port)
 	t.Stats.FutexWaits++
 	blockStart := t.Th.Now()
-	t.Th.Block("futex")
+	t.Sleep("futex")
 	if tr := o.Ctx.Plat.Tracer; tr != nil {
 		tr.Emit(trace.Event{Cycle: int64(blockStart), Kind: trace.KindFutexWait,
 			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
@@ -389,7 +389,7 @@ func (o *OS) FutexWake(t *kernel.Task, uaddr pgtable.VirtAddr, n int) (int, erro
 			o.emit(t, trace.KindIPIWake, uaddr, int64(w.Node))
 		}
 		wakeLat := o.Ctx.Plat.Clock(w.Node).FromMicros(o.Ctx.Plat.Cfg.IPIMicros)
-		o.Ctx.Plat.Engine.Wake(w.Th, t.Th.Now()+wakeLat)
+		w.Awaken(t.Th.Now() + wakeLat)
 	}
 	t.Stats.FutexWakes += int64(len(woken))
 	o.emit(t, trace.KindFutexWake, uaddr, int64(len(woken)))

@@ -50,6 +50,8 @@ func spanClass(k Kind) (Class, bool) {
 		return ClassMessaging, true
 	case KindFutexWait, KindPTLAcquire:
 		return ClassSync, true
+	case KindSchedPreempt, KindSchedSleep:
+		return ClassSync, true
 	}
 	return 0, false
 }

@@ -79,6 +79,14 @@ const (
 	KindRPC         // span: full request/response round trip (Cost = duration)
 	KindNotify      // span: one-way notification delivered (Cost = duration)
 
+	// Kernel CPU-scheduler events (internal/kernel sched.go): the run-queue
+	// transitions of tasks on simulated CPUs. Node/Core identify the CPU.
+	KindSchedEnqueue  // task queued on a busy CPU's run queue (Arg = queue depth after)
+	KindSchedDispatch // task occupies the CPU and starts running
+	KindSchedPreempt  // span: quantum expiry forced the task off the CPU (Cost = wait until redispatch)
+	KindSchedSleep    // span: task left the CPU to sleep (Name = reason, Cost = cycles off-CPU)
+	KindTaskClone     // a task cloned a sibling into its process (Arg = child thread id)
+
 	numKinds
 )
 
@@ -114,6 +122,11 @@ var kindNames = [numKinds]string{
 	KindMsgSend:         "msg-send",
 	KindRPC:             "rpc",
 	KindNotify:          "notify",
+	KindSchedEnqueue:    "sched-enqueue",
+	KindSchedDispatch:   "sched-dispatch",
+	KindSchedPreempt:    "sched-preempt",
+	KindSchedSleep:      "sched-sleep",
+	KindTaskClone:       "task-clone",
 }
 
 func (k Kind) String() string {

@@ -66,6 +66,11 @@ type (
 	MemModel = mem.Model
 	// NodeID identifies a processor complex.
 	NodeID = mem.NodeID
+	// SchedPolicy selects how tasks share the simulated CPUs.
+	SchedPolicy = kernel.SchedPolicy
+	// ClonedTask is a sibling task created by Task.Clone, joinable with
+	// ClonedTask.Join.
+	ClonedTask = kernel.ClonedTask
 )
 
 // NewMachine builds and boots a simulated machine.
@@ -92,6 +97,18 @@ const (
 	MultiKernelSHM = machine.PopcornSHM
 	// FusedKernel is the paper's contribution: shared-mostly kernels.
 	FusedKernel = machine.StramashOS
+)
+
+// Scheduler policies for MachineConfig.Sched.
+const (
+	// SchedShared lets every runnable task progress concurrently; the
+	// per-core CPUs are pure bookkeeping and cost nothing (the default,
+	// preserving single-task timing exactly).
+	SchedShared = kernel.SchedShared
+	// SchedTimeSlice enforces one task per CPU with per-core FIFO run
+	// queues and deterministic round-robin preemption at a
+	// retired-instruction quantum (MachineConfig.SchedQuantum).
+	SchedTimeSlice = kernel.SchedTimeSlice
 )
 
 // Nodes of the two-ISA platform.
