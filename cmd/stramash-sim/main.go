@@ -10,12 +10,19 @@
 //	             [-bench IS|CG|MG|FT] [-class T|S|W]
 //	             [-l3 bytes] [-no-migrate]
 //	             [-trace out.json] [-trace-summary]
+//	             [-fileio]
 //
 // -trace records every simulated event (schedule, faults, coherence,
 // messaging) and writes a Chrome trace-event JSON loadable in Perfetto or
 // chrome://tracing. -trace-summary prints the per-class cycle-attribution
 // report instead of (or in addition to) the JSON. Tracing never perturbs
 // simulated timing: cycle counts are identical with and without it.
+//
+// -fileio replaces the NPB benchmark with a cross-ISA shared-file
+// workload (an x86 producer and an Arm consumer on one file) and runs it
+// under both page-cache regimes — the fused shared cache and the
+// Popcorn-style per-kernel DSM cache — printing their cycle and
+// page-cache counters side by side.
 package main
 
 import (
@@ -40,7 +47,13 @@ func main() {
 	noMigrate := flag.Bool("no-migrate", false, "run without cross-ISA migration")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print the per-class cycle-attribution report")
+	fileIO := flag.Bool("fileio", false, "run the cross-ISA shared-file workload under both page-cache regimes")
 	flag.Parse()
+
+	if *fileIO {
+		fatal(runFileIO())
+		return
+	}
 
 	osKind, err := parseOS(*osFlag)
 	fatal(err)

@@ -43,6 +43,7 @@ func All() []Spec {
 func Extra() []Spec {
 	return []Spec{
 		{"multicore", func(s Scale) (Result, error) { return Multicore(s) }},
+		{"filesys", func(s Scale) (Result, error) { return Filesys(s) }},
 	}
 }
 

@@ -10,13 +10,16 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/microbench"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // tracedFutexRun executes the Figure 13 futex ping-pong on a fresh
@@ -122,5 +125,136 @@ func TestTraceGoldenSequentialVsPool(t *testing.T) {
 			t.Errorf("pool run %d: trace differs from sequential reference (%d vs %d bytes)",
 				i, len(texts[i]), len(refText))
 		}
+	}
+}
+
+// tracedFileRun executes a small cross-node file workload under the given
+// page-cache regime, optionally traced.
+func tracedFileRun(regime vfs.Regime, traced bool) (sim.Cycles, *trace.Buffer, error) {
+	cfg := machine.Config{Model: mem.Shared, OS: machine.StramashOS, FileCache: regime}
+	var buf *trace.Buffer
+	if traced {
+		buf = trace.NewBuffer()
+		cfg.Tracer = buf
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	const pages = 4
+	if _, err := m.RunSingle("producer", mem.NodeX86, func(tk *kernel.Task) error {
+		fd, err := tk.CreateFile("/golden.dat")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, pages*mem.PageSize)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		if _, err := tk.WriteFileAt(fd, buf, 0); err != nil {
+			return err
+		}
+		return tk.CloseFile(fd)
+	}); err != nil {
+		return 0, nil, err
+	}
+	res, err := m.RunSingle("consumer", mem.NodeArm, func(tk *kernel.Task) error {
+		fd, err := tk.OpenFile("/golden.dat", vfs.ORDWR)
+		if err != nil {
+			return err
+		}
+		p := make([]byte, mem.PageSize)
+		for off := int64(0); off < pages*mem.PageSize; off += mem.PageSize {
+			if _, err := tk.ReadFileAt(fd, p, off); err != nil {
+				return err
+			}
+			if _, err := tk.WriteFileAt(fd, p[:16], off); err != nil {
+				return err
+			}
+		}
+		if err := tk.SyncFile(fd); err != nil {
+			return err
+		}
+		if err := tk.CloseFile(fd); err != nil {
+			return err
+		}
+		return tk.UnlinkFile("/golden.dat")
+	})
+	return res.Elapsed(), buf, err
+}
+
+// TestTraceGoldenVFSEvents extends the golden contract to the page-cache
+// event kinds: tracing a file workload must not perturb its timing, the
+// traced stream must be byte-identical between a sequential run and runs
+// inside the parallel pool, and the stream must actually carry the VFS
+// kinds each regime is expected to emit.
+func TestTraceGoldenVFSEvents(t *testing.T) {
+	for _, tc := range []struct {
+		regime vfs.Regime
+		want   []string // event names that must appear
+		absent []string // event names that must not
+	}{
+		{vfs.RegimeFused,
+			[]string{"page-cache-hit", "page-cache-miss", "page-cache-invalidate"},
+			[]string{"page-cache-writeback"}},
+		{vfs.RegimePopcorn,
+			[]string{"page-cache-hit", "page-cache-miss", "page-cache-writeback", "page-cache-invalidate"},
+			nil},
+	} {
+		t.Run(tc.regime.String(), func(t *testing.T) {
+			plainCycles, _, err := tracedFileRun(tc.regime, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCycles, ref, err := tracedFileRun(tc.regime, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plainCycles != refCycles {
+				t.Errorf("untraced %d cycles, traced %d — tracing perturbed file I/O timing",
+					plainCycles, refCycles)
+			}
+			refText := ref.Text()
+			for _, name := range tc.want {
+				if !strings.Contains(refText, name) {
+					t.Errorf("trace is missing %q events", name)
+				}
+			}
+			for _, name := range tc.absent {
+				if strings.Contains(refText, name) {
+					t.Errorf("trace contains %q events, impossible in the %v regime", name, tc.regime)
+				}
+			}
+
+			const runs = 2
+			texts := make([]string, runs)
+			specs := make([]Spec, runs)
+			for i := range specs {
+				i := i
+				specs[i] = Spec{ID: fmt.Sprintf("traced-file-%d", i), Run: func(Scale) (Result, error) {
+					c, buf, err := tracedFileRun(tc.regime, true)
+					if err != nil {
+						return nil, err
+					}
+					if c != refCycles {
+						return nil, fmt.Errorf("pool run: %d cycles, reference %d", c, refCycles)
+					}
+					texts[i] = buf.Text()
+					return fakeResult{name: "traced file", body: "ok\n"}, nil
+				}}
+			}
+			outcomes := RunPool(context.Background(), specs, Quick, PoolOptions{Parallelism: runs})
+			for _, o := range outcomes {
+				if o.Err != nil {
+					t.Fatal(o.Err)
+				}
+			}
+			for i := 0; i < runs; i++ {
+				if texts[i] != refText {
+					t.Errorf("pool run %d: file trace differs from sequential reference (%d vs %d bytes)",
+						i, len(texts[i]), len(refText))
+				}
+			}
+		})
 	}
 }

@@ -138,13 +138,18 @@ func (v *Vanilla) CreateProcess(pt *hw.Port, origin mem.NodeID) (*Process, error
 	return proc, nil
 }
 
-// HandleFault implements OS: demand-zero allocation on the faulting node.
+// HandleFault implements OS: demand-zero allocation on the faulting node,
+// or a page-cache fault-in for file-backed areas.
 func (v *Vanilla) HandleFault(t *Task, va pgtable.VirtAddr, write bool) error {
-	if _, err := CheckVMA(t.Proc, va, write); err != nil {
+	area, err := CheckVMA(t.Proc, va, write)
+	if err != nil {
 		return err
 	}
 	t.Stats.NodeInstructions[t.Node] += 150
 	VMALookupCost(t.Port, v.ctrlPages[t.Proc.PID], t.Proc.VMAs.Len())
+	if area.FileBacked() {
+		return FileFaultIn(t, area, va, write)
+	}
 	meta := t.Proc.Meta(va)
 	if meta.Valid[t.Node] {
 		// Present but the access needed write and the VMA allows it:
@@ -261,6 +266,11 @@ func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(me
 				continue
 			}
 			UnmapFrame(pt, proc, node, va)
+			if m.FileBacked {
+				// The frame belongs to the VFS page cache, which outlives
+				// the process: unmap only, never free.
+				continue
+			}
 			fr := m.Frames[node]
 			if freed[fr] {
 				continue
@@ -284,6 +294,7 @@ func ReleaseProcessPages(ctx *Context, pt *hw.Port, proc *Process, owner func(me
 		}
 	}
 	proc.FlushAllTLBs()
+	ctx.dropFileMaps(proc)
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/pgtable"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // Kernel is one kernel instance: the OS running on one node (one ISA).
@@ -123,6 +124,13 @@ func (k *Kernel) NextPID() int {
 type Context struct {
 	Plat    *hw.Platform
 	Kernels [2]*Kernel
+	// VFS is the machine's mounted file system (nil until the machine
+	// builder mounts one; file syscalls fail cleanly without it).
+	VFS *vfs.Mount
+
+	// fileMaps is the reverse map from file pages to task mappings, fed by
+	// FileFaultIn and consumed by FileInvalidateHook (file.go).
+	fileMaps map[fileMapKey][]fileMapping
 }
 
 // Kernel returns the kernel instance of a node.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/vfs"
 )
 
 // DSMState is the per-node software-coherence state of a page under the
@@ -49,6 +50,10 @@ type PageMeta struct {
 	DSM [2]DSMState
 	// Replications counts page copies made for this page (Table 3).
 	Replications int64
+	// FileBacked marks pages whose frames belong to the VFS page cache:
+	// exit unmaps them but must never free them — the cache outlives the
+	// process.
+	FileBacked bool
 }
 
 // Process is one user process. Its address space is described once (VMA
@@ -105,6 +110,24 @@ func (p *Process) Mmap(length uint64, flags VMAFlags, name string) (pgtable.Virt
 		return 0, err
 	}
 	// Leave a guard page between mappings.
+	p.mmapCursor = v.End + mem.PageSize
+	return base, nil
+}
+
+// MmapFile reserves a shared file-backed VMA of length bytes over ino,
+// with fileOff mapped at the base. Pages fault in from the page cache.
+func (p *Process) MmapFile(length uint64, flags VMAFlags, ino *vfs.Inode, fileOff int64) (pgtable.VirtAddr, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("kernel: mmap of zero length")
+	}
+	length = (length + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	base := p.mmapCursor
+	v := &VMA{Start: base, End: base + pgtable.VirtAddr(length),
+		Flags: flags | VMAShared, Name: fmt.Sprintf("file-ino%d", ino.Ino),
+		FileIno: ino.Ino, FileOff: fileOff}
+	if err := p.VMAs.Insert(v); err != nil {
+		return 0, err
+	}
 	p.mmapCursor = v.End + mem.PageSize
 	return base, nil
 }

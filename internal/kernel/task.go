@@ -9,6 +9,7 @@ import (
 	"repro/internal/pgtable"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // TaskStats counts per-task events for the evaluation breakdowns.
@@ -25,6 +26,10 @@ type TaskStats struct {
 	FaultCycles     sim.Cycles
 	ComputeCycles   sim.Cycles
 	MemAccessCycles sim.Cycles
+
+	// File I/O volume through the read/write syscalls (bytes).
+	FileReadBytes  int64
+	FileWriteBytes int64
 
 	// Per-node attribution, the data the perf+icount tool reads (§7.3):
 	// retired instructions (compute + memory ops) and residency cycles on
@@ -70,6 +75,9 @@ type Task struct {
 	// CodeWin models the instruction footprint of the running phase.
 	CodeWin *hw.CodeWindow
 
+	// fds is the task's open-file descriptor table, nil until first use.
+	fds *vfs.FDTable
+
 	Stats  TaskStats
 	exited bool
 
@@ -105,6 +113,8 @@ func (t *Task) TimedStats() TaskStats {
 	d.FaultCycles -= t.statsBase.FaultCycles
 	d.ComputeCycles -= t.statsBase.ComputeCycles
 	d.MemAccessCycles -= t.statsBase.MemAccessCycles
+	d.FileReadBytes -= t.statsBase.FileReadBytes
+	d.FileWriteBytes -= t.statsBase.FileWriteBytes
 	for n := 0; n < 2; n++ {
 		d.NodeInstructions[n] -= t.statsBase.NodeInstructions[n]
 		d.NodeCycles[n] -= t.statsBase.NodeCycles[n]

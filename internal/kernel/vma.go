@@ -29,7 +29,15 @@ type VMA struct {
 	End   pgtable.VirtAddr
 	Flags VMAFlags
 	Name  string
+	// FileIno backs the area with a vfs inode when non-zero: pages come
+	// from the page cache instead of anonymous memory. FileOff is the file
+	// offset mapped at Start.
+	FileIno int64
+	FileOff int64
 }
+
+// FileBacked reports whether pages of the area come from the page cache.
+func (v *VMA) FileBacked() bool { return v.FileIno != 0 }
 
 // Contains reports whether va falls inside the area.
 func (v *VMA) Contains(va pgtable.VirtAddr) bool { return va >= v.Start && va < v.End }

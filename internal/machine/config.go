@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/vfs"
 )
 
 // MaxCores is the per-node core-count ceiling. The evaluation platform
@@ -58,6 +59,9 @@ func (c *Config) Validate() error {
 	}
 	if c.NetRTTMicros < 0 {
 		return &ConfigError{Field: "NetRTTMicros", Value: c.NetRTTMicros, Reason: "must not be negative"}
+	}
+	if c.FileCache < vfs.RegimeAuto || c.FileCache > vfs.RegimePopcorn {
+		return &ConfigError{Field: "FileCache", Value: c.FileCache, Reason: "unknown page-cache regime"}
 	}
 	for n := 0; n < 2; n++ {
 		if c.CPI[n] < 0 {

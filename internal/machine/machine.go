@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stramash"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // OSKind selects the operating-system personality (the bars of Figure 9).
@@ -100,6 +101,11 @@ type Config struct {
 	// are identical with and without a tracer. nil disables tracing with
 	// zero overhead beyond one nil check per emit site.
 	Tracer trace.Tracer
+	// FileCache selects the VFS page-cache coherence regime. The default,
+	// vfs.RegimeAuto, follows the OS personality: fused kernels share one
+	// page cache, multiple-kernel baselines replicate per kernel with DSM
+	// messages. Setting it explicitly decouples the two axes.
+	FileCache vfs.Regime
 }
 
 // reservedLow is the per-node reservation for kernel image, memmap, and
@@ -108,6 +114,10 @@ const reservedLow = 192 << 20
 
 // msgAreaSize is the messaging layer's footprint (§8.2 uses 128 MB).
 const msgAreaSize = 128 << 20
+
+// vfsPoolSize is the CXL shared-pool slice reserved for the fused page
+// cache in the Shared model, carved right after the messaging area.
+const vfsPoolSize = 64 << 20
 
 // Machine is one assembled system.
 type Machine struct {
@@ -200,7 +210,9 @@ func New(cfg Config) (*Machine, error) {
 			m.OS = stramash.New(ctx, m.Msgr)
 		default:
 			bootErr = fmt.Errorf("machine: unknown OS kind %v", cfg.OS)
+			return
 		}
+		bootErr = m.mountVFS(ctx)
 	})
 	if err := plat.Engine.Run(); err != nil {
 		return nil, err
@@ -210,6 +222,60 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.ResetStats()
 	return m, nil
+}
+
+// mountVFS builds the shared file system and wires it into the kernel
+// context. The page-cache regime follows the OS personality unless the
+// config pins it: a fused kernel runs one shared page cache, the
+// multiple-kernel baselines replicate pages per kernel with DSM messages.
+// Mounting is pure construction — no simulated memory traffic, no
+// allocator state — so machines that never touch a file behave
+// cycle-for-cycle as if the mount did not exist (the pinned full-run
+// artifact depends on this).
+func (m *Machine) mountVFS(ctx *kernel.Context) error {
+	regime := m.Cfg.FileCache
+	if regime == vfs.RegimeAuto {
+		switch m.Cfg.OS {
+		case PopcornTCP, PopcornSHM:
+			regime = vfs.RegimePopcorn
+		default:
+			regime = vfs.RegimeFused
+		}
+	}
+	// The control page (charged dentry/inode probes) sits at a fixed spot
+	// in the reserved area right after the messaging rings, outside the
+	// buddy allocators — taking it from a kernel allocator here would
+	// shift every later allocation and perturb file-free workloads.
+	ctrl := m.msgAreaBase() + msgAreaSize
+	vcfg := vfs.Config{
+		Regime:   regime,
+		CtrlPage: ctrl,
+		Home:     mem.NodeX86,
+		Msgr:     m.Msgr,
+		Tracer:   m.Cfg.Tracer,
+		Local: func(pt *hw.Port, node mem.NodeID) (mem.PhysAddr, error) {
+			return ctx.Kernel(node).AllocZeroedPage(pt)
+		},
+		FreeLocal: func(pt *hw.Port, node mem.NodeID, pa mem.PhysAddr) error {
+			pt.T.Advance(kernel.AllocCost)
+			return ctx.Kernel(node).Alloc.Free(pa)
+		},
+	}
+	if regime == vfs.RegimeFused && m.Cfg.Model == mem.Shared {
+		// Carve the fused page cache's frame pool out of the CXL shared
+		// region, right after the control page, so file pages are equally
+		// distant from both ISAs (like the messaging area, this slice relies
+		// on shared blocks only being onlined under memory pressure).
+		vcfg.PoolBase = ctrl + mem.PageSize
+		vcfg.PoolSize = vfsPoolSize
+	}
+	mnt, err := vfs.NewMount(vcfg)
+	if err != nil {
+		return err
+	}
+	mnt.Cache.SetInvalidateHook(ctx.FileInvalidateHook)
+	ctx.VFS = mnt
+	return nil
 }
 
 // msgAreaBase places the messaging area per §8.2: Separated keeps it in
@@ -382,3 +448,15 @@ func (m *Machine) Messages() int64 {
 	}
 	return m.Msgr.Stats().TotalMessages()
 }
+
+// FileStats returns the VFS page-cache counters (zero value if the
+// machine booted without a filesystem).
+func (m *Machine) FileStats() vfs.Stats {
+	if m.Ctx == nil || m.Ctx.VFS == nil {
+		return vfs.Stats{}
+	}
+	return m.Ctx.VFS.Stats()
+}
+
+// VFS returns the mounted filesystem for direct inspection in tests.
+func (m *Machine) VFS() *vfs.Mount { return m.Ctx.VFS }

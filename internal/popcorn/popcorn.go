@@ -190,11 +190,17 @@ func (o *OS) HandleFault(t *kernel.Task, va pgtable.VirtAddr, write bool) error 
 			o.emit(t, trace.KindVMAFetch, v.Start, 0)
 		}
 	}
-	if _, err := kernel.CheckVMA(proc, va, write); err != nil {
+	area, err := kernel.CheckVMA(proc, va, write)
+	if err != nil {
 		return err
 	}
 	kernel.VMALookupCost(t.Port, o.ctrlPages[proc.PID][t.Node], proc.VMAs.Len())
 	t.Stats.NodeInstructions[t.Node] += kinstrFaultEntry
+	if area.FileBacked() {
+		// File pages live in the per-kernel page caches, whose own DSM
+		// protocol (internal/vfs) serializes and messages as needed.
+		return kernel.FileFaultIn(t, area, va, write)
+	}
 
 	k := o.lockPage(t, va)
 	defer o.unlockPage(k)

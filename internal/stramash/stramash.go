@@ -176,8 +176,14 @@ func (o *OS) HandleFault(t *kernel.Task, va pgtable.VirtAddr, write bool) error 
 	// serialization, no protocol state machines).
 	t.Stats.NodeInstructions[node] += 60
 	kernel.VMALookupCost(t.Port, o.ctrlPages[proc.PID], proc.VMAs.Len())
-	if _, err := kernel.CheckVMA(proc, va, write); err != nil {
+	area, err := kernel.CheckVMA(proc, va, write)
+	if err != nil {
 		return err
+	}
+	if area.FileBacked() {
+		// File pages come from the shared page cache: one frame, mapped by
+		// both kernels directly — no PTL ping-pong, no messages.
+		return kernel.FileFaultIn(t, area, va, write)
 	}
 
 	o.lockPTL(t)

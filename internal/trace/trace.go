@@ -58,11 +58,11 @@ const (
 	KindMigrate   // span: cross-ISA task migration (Arg = destination node, Cost = duration)
 
 	// Popcorn DSM events (internal/popcorn): the multiple-kernel baseline.
-	KindDSMRequest     // remote fault served by the origin kernel over messages
-	KindPageReplicate  // DSM page replication into a local frame (VA set)
-	KindDSMInvalidate  // DSM invalidation of the other kernel's copy (VA set)
-	KindVMAFetch       // remote kernel fetched a VMA from the origin (VA set)
-	KindFutexRPC       // futex operation forwarded to the origin kernel by RPC
+	KindDSMRequest    // remote fault served by the origin kernel over messages
+	KindPageReplicate // DSM page replication into a local frame (VA set)
+	KindDSMInvalidate // DSM invalidation of the other kernel's copy (VA set)
+	KindVMAFetch      // remote kernel fetched a VMA from the origin (VA set)
+	KindFutexRPC      // futex operation forwarded to the origin kernel by RPC
 
 	// Stramash fused-kernel events (internal/stramash).
 	KindRemotePTWrite   // PTE written into the other kernel's table (VA set)
@@ -86,6 +86,14 @@ const (
 	KindSchedPreempt  // span: quantum expiry forced the task off the CPU (Cost = wait until redispatch)
 	KindSchedSleep    // span: task left the CPU to sleep (Name = reason, Cost = cycles off-CPU)
 	KindTaskClone     // a task cloned a sibling into its process (Arg = child thread id)
+
+	// VFS page-cache events (internal/vfs): file pages moving through the
+	// fused or Popcorn-replicated page cache. VA carries the byte offset of
+	// the page within the file, PA the backing frame, Arg the inode number.
+	KindPageCacheHit        // file page found in the node's reachable cache
+	KindPageCacheMiss       // file page faulted into the cache (alloc or DSM fetch)
+	KindPageCacheWriteback  // dirty file page flushed to its home replica
+	KindPageCacheInvalidate // a node's cached copy of a file page was discarded
 
 	numKinds
 )
@@ -127,6 +135,11 @@ var kindNames = [numKinds]string{
 	KindSchedPreempt:    "sched-preempt",
 	KindSchedSleep:      "sched-sleep",
 	KindTaskClone:       "task-clone",
+
+	KindPageCacheHit:        "page-cache-hit",
+	KindPageCacheMiss:       "page-cache-miss",
+	KindPageCacheWriteback:  "page-cache-writeback",
+	KindPageCacheInvalidate: "page-cache-invalidate",
 }
 
 func (k Kind) String() string {

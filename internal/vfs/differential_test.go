@@ -1,0 +1,244 @@
+package vfs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/vfs"
+)
+
+// These are the black-box regime tests: they boot whole machines (the
+// external test package may import machine; the vfs package itself sits
+// below kernel) and check the package's central invariant — the two
+// coherence regimes are distinguishable only by where cycles go, never by
+// file contents.
+
+const diffPath = "/d/shared.bin"
+
+// diffMachine boots a fused-kernel machine with the given page-cache
+// regime; everything else is identical, so contents must be too.
+func diffMachine(t *testing.T, regime vfs.Regime) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		Model:        mem.Shared,
+		OS:           machine.StramashOS,
+		FileCache:    regime,
+		Cores:        2,
+		Sched:        kernel.SchedTimeSlice,
+		SchedQuantum: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// diffWorkload is a deterministic cross-node read/write mix: two workers
+// per node stamp disjoint ranges and stream the whole file, several
+// rounds, under the time-slicing scheduler.
+func diffWorkload(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	const pages, rounds, workers = 8, 3, 4
+	fileBytes := pages * mem.PageSize
+	span := fileBytes / workers
+	if _, err := m.RunSingle("setup", mem.NodeX86, func(tk *kernel.Task) error {
+		if err := tk.Mkdir("/d"); err != nil {
+			return err
+		}
+		fd, err := tk.CreateFile(diffPath)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, fileBytes)
+		for i := range buf {
+			buf[i] = byte(i >> 4)
+		}
+		if _, err := tk.WriteFileAt(fd, buf, 0); err != nil {
+			return err
+		}
+		return tk.CloseFile(fd)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]machine.TaskSpec, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		specs[w] = machine.TaskSpec{
+			Name:   fmt.Sprintf("w%d", w),
+			Origin: mem.NodeID(w % 2),
+			Core:   w / 2,
+			Body: func(tk *kernel.Task) error {
+				fd, err := tk.OpenFile(diffPath, vfs.ORDWR)
+				if err != nil {
+					return err
+				}
+				own := make([]byte, span)
+				page := make([]byte, mem.PageSize)
+				for r := 0; r < rounds; r++ {
+					for i := range own {
+						own[i] = byte(0x10*w + r)
+					}
+					if _, err := tk.WriteFileAt(fd, own, int64(w*span)); err != nil {
+						return err
+					}
+					for off := 0; off < fileBytes; off += mem.PageSize {
+						if _, err := tk.ReadFileAt(fd, page, int64(off)); err != nil {
+							return err
+						}
+					}
+				}
+				return tk.CloseFile(fd)
+			},
+		}
+	}
+	if _, err := m.RunTasks(specs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffContents reads the whole file back from the given node.
+func diffContents(t *testing.T, m *machine.Machine, node mem.NodeID) []byte {
+	t.Helper()
+	var out []byte
+	if _, err := m.RunSingle("read-"+node.String(), node, func(tk *kernel.Task) error {
+		fd, err := tk.OpenFile(diffPath, vfs.ORead)
+		if err != nil {
+			return err
+		}
+		size, err := tk.FileSize(fd)
+		if err != nil {
+			return err
+		}
+		out = make([]byte, size)
+		if _, err := tk.ReadFileAt(fd, out, 0); err != nil {
+			return err
+		}
+		return tk.CloseFile(fd)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDifferentialRegimeContents is the package invariant: for one
+// deterministic schedule, the fused and popcorn page caches produce
+// byte-identical file contents, observed from both nodes.
+func TestDifferentialRegimeContents(t *testing.T) {
+	var got [2][2][]byte // [regime][node]
+	for i, regime := range []vfs.Regime{vfs.RegimeFused, vfs.RegimePopcorn} {
+		m := diffMachine(t, regime)
+		diffWorkload(t, m)
+		got[i][0] = diffContents(t, m, mem.NodeX86)
+		got[i][1] = diffContents(t, m, mem.NodeArm)
+	}
+	for n := 0; n < 2; n++ {
+		if !bytes.Equal(got[0][n], got[1][n]) {
+			t.Errorf("node %v: fused and popcorn contents differ", mem.NodeID(n))
+		}
+	}
+	if !bytes.Equal(got[0][0], got[0][1]) {
+		t.Errorf("fused: the two nodes read different contents")
+	}
+	if !bytes.Equal(got[1][0], got[1][1]) {
+		t.Errorf("popcorn: the two nodes read different contents")
+	}
+}
+
+// TestRegimeCycleSignatures checks the asymmetry the experiment's shape
+// checks rely on: the same workload spends messaging cycles and DSM
+// traffic only under popcorn.
+func TestRegimeCycleSignatures(t *testing.T) {
+	var stats [2]vfs.Stats
+	for i, regime := range []vfs.Regime{vfs.RegimeFused, vfs.RegimePopcorn} {
+		m := diffMachine(t, regime)
+		diffWorkload(t, m)
+		stats[i] = m.FileStats()
+	}
+	f, p := stats[0], stats[1]
+	if f.TotalMsgCycles() != 0 {
+		t.Errorf("fused regime spent %d messaging cycles, want 0", f.TotalMsgCycles())
+	}
+	if p.TotalMsgCycles() == 0 {
+		t.Errorf("popcorn regime spent no messaging cycles")
+	}
+	if f.Writebacks[0]+f.Writebacks[1] != 0 || f.Invalidations[0]+f.Invalidations[1] != 0 {
+		t.Errorf("fused regime produced DSM traffic: %+v", f)
+	}
+	if p.Writebacks[0]+p.Writebacks[1] == 0 {
+		t.Errorf("popcorn regime produced no writebacks: %+v", p)
+	}
+	if p.Invalidations[0]+p.Invalidations[1] == 0 {
+		t.Errorf("popcorn regime produced no invalidations: %+v", p)
+	}
+	if f.Hits[0]+f.Hits[1] == 0 || p.Hits[0]+p.Hits[1] == 0 {
+		t.Errorf("a regime saw no page-cache hits: fused %+v popcorn %+v", f, p)
+	}
+}
+
+// TestMmapSharesPageCacheFrames maps one file from both nodes and stores
+// through the x86 mapping; the arm read must observe it through the cache
+// coherence (fused) or DSM (popcorn) machinery, and a final read() must
+// agree with the mmap view.
+func TestMmapSharesPageCacheFrames(t *testing.T) {
+	for _, regime := range []vfs.Regime{vfs.RegimeFused, vfs.RegimePopcorn} {
+		t.Run(regime.String(), func(t *testing.T) {
+			m := diffMachine(t, regime)
+			const fileBytes = 4 * mem.PageSize
+			if _, err := m.RunSingle("setup", mem.NodeX86, func(tk *kernel.Task) error {
+				if err := tk.Mkdir("/d"); err != nil {
+					return err
+				}
+				fd, err := tk.CreateFile(diffPath)
+				if err != nil {
+					return err
+				}
+				if _, err := tk.WriteFileAt(fd, make([]byte, fileBytes), 0); err != nil {
+					return err
+				}
+				base, err := tk.MmapFile(fd, fileBytes, kernel.VMARead|kernel.VMAWrite, 0)
+				if err != nil {
+					return err
+				}
+				for pg := 0; pg < 4; pg++ {
+					if err := tk.Store(base+pgtable.VirtAddr(pg*mem.PageSize), 8, uint64(0xC0DE+pg)); err != nil {
+						return err
+					}
+				}
+				return tk.CloseFile(fd)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.RunSingle("check", mem.NodeArm, func(tk *kernel.Task) error {
+				fd, err := tk.OpenFile(diffPath, vfs.ORead)
+				if err != nil {
+					return err
+				}
+				base, err := tk.MmapFile(fd, fileBytes, kernel.VMARead, 0)
+				if err != nil {
+					return err
+				}
+				for pg := 0; pg < 4; pg++ {
+					v, err := tk.Load(base+pgtable.VirtAddr(pg*mem.PageSize), 8)
+					if err != nil {
+						return err
+					}
+					if v != uint64(0xC0DE+pg) {
+						return fmt.Errorf("mmap page %d reads %#x", pg, v)
+					}
+					buf := make([]byte, 8)
+					if _, err := tk.ReadFileAt(fd, buf, int64(pg*mem.PageSize)); err != nil {
+						return err
+					}
+				}
+				return tk.CloseFile(fd)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package vfs
+
+import "fmt"
+
+// OpenFlags control Open/Create behavior and descriptor access mode.
+type OpenFlags uint32
+
+const (
+	// ORead permits ReadAt/Read through the descriptor.
+	ORead OpenFlags = 1 << iota
+	// OWrite permits WriteAt/Write through the descriptor.
+	OWrite
+	// OCreate creates the file if it does not exist.
+	OCreate
+	// OTrunc drops existing contents on open.
+	OTrunc
+	// OAppend positions every write at end-of-file.
+	OAppend
+)
+
+// ORDWR is the common read-write mode.
+const ORDWR = ORead | OWrite
+
+// File is one open-file description: an inode reference, the access mode,
+// and a file offset shared by Read/Write.
+type File struct {
+	Ino   *Inode
+	Flags OpenFlags
+	Off   int64
+}
+
+// FDTable is a task's descriptor table. Descriptors are small integers;
+// Install reuses the lowest closed slot, like POSIX.
+type FDTable struct {
+	files []*File
+}
+
+// NewFDTable returns an empty descriptor table.
+func NewFDTable() *FDTable { return &FDTable{} }
+
+// Install places f in the lowest free slot and returns its descriptor.
+func (t *FDTable) Install(f *File) int {
+	for i, g := range t.files {
+		if g == nil {
+			t.files[i] = f
+			return i
+		}
+	}
+	t.files = append(t.files, f)
+	return len(t.files) - 1
+}
+
+// Get resolves a descriptor.
+func (t *FDTable) Get(fd int) (*File, error) {
+	if fd < 0 || fd >= len(t.files) || t.files[fd] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return t.files[fd], nil
+}
+
+// Close releases a descriptor.
+func (t *FDTable) Close(fd int) error {
+	if _, err := t.Get(fd); err != nil {
+		return err
+	}
+	t.files[fd] = nil
+	return nil
+}
+
+// Open returns the number of live descriptors.
+func (t *FDTable) Open() int {
+	n := 0
+	for _, f := range t.files {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}

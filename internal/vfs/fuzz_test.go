@@ -1,0 +1,64 @@
+package vfs
+
+import (
+	"path"
+	"strings"
+	"testing"
+)
+
+// FuzzVFSPath drives Components with adversarial path strings and checks
+// it against the stdlib's path.Clean as an oracle: resolving the returned
+// components with a plain ".." stack must land on exactly the absolute
+// path Clean computes. This pins down the splitting rules (repeated
+// slashes, ".", "..", trailing slashes) independently of the charged walk.
+func FuzzVFSPath(f *testing.F) {
+	for _, seed := range []string{
+		"/", "//", "/a/b/c", "a/b/c/", "/a//b", "/a/./b", "/a/../b",
+		"..", "/..", "/../..", "/a/b/../../c", "./a/.", "/a/b/.././//c/..",
+		"", "/" + strings.Repeat("x", NameMax) + "/y",
+		strings.Repeat("a/", 64), "/.hidden/..d/...",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, p string) {
+		comps, err := Components(p)
+		if err != nil {
+			// Errors must only arise from the three defined conditions.
+			if p != "" && len(p) <= PathMax && longestComponent(p) <= NameMax {
+				t.Fatalf("Components(%q) unexpected error: %v", p, err)
+			}
+			return
+		}
+		var stack []string
+		for _, c := range comps {
+			switch c {
+			case "", ".":
+				t.Fatalf("Components(%q) leaked component %q", p, c)
+			case "..":
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			default:
+				if strings.Contains(c, "/") {
+					t.Fatalf("Components(%q) leaked a slash in %q", p, c)
+				}
+				stack = append(stack, c)
+			}
+		}
+		got := "/" + strings.Join(stack, "/")
+		want := path.Clean("/" + p)
+		if got != want {
+			t.Fatalf("Components(%q) resolves to %q, path.Clean gives %q", p, got, want)
+		}
+	})
+}
+
+func longestComponent(p string) int {
+	max := 0
+	for _, c := range strings.Split(p, "/") {
+		if c != "" && c != "." && len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}

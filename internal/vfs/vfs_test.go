@@ -1,0 +1,84 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestComponents(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  error
+	}{
+		{"/", nil, nil},
+		{"//", nil, nil},
+		{"/a/b", []string{"a", "b"}, nil},
+		{"a/b", []string{"a", "b"}, nil},
+		{"/a//b/", []string{"a", "b"}, nil},
+		{"/a/./b", []string{"a", "b"}, nil},
+		{"/a/../b", []string{"a", "..", "b"}, nil},
+		{".", nil, nil},
+		{"..", []string{".."}, nil},
+		{"", nil, ErrNotExist},
+		{"/" + strings.Repeat("x", NameMax+1), nil, ErrNameTooLong},
+		{strings.Repeat("/a", PathMax), nil, ErrPathTooLong},
+	}
+	for _, c := range cases {
+		got, err := Components(c.in)
+		if c.err != nil {
+			if !errors.Is(err, c.err) {
+				t.Errorf("Components(%q) err = %v, want %v", c.in, err, c.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Components(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("Components(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Components(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFDTableReusesLowestSlot(t *testing.T) {
+	tab := NewFDTable()
+	f := func() *File { return &File{Flags: ORead} }
+	fd0, fd1, fd2 := tab.Install(f()), tab.Install(f()), tab.Install(f())
+	if fd0 != 0 || fd1 != 1 || fd2 != 2 {
+		t.Fatalf("fresh installs got %d,%d,%d, want 0,1,2", fd0, fd1, fd2)
+	}
+	if err := tab.Close(fd1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Install(f()); got != 1 {
+		t.Fatalf("reinstall got fd %d, want the freed slot 1", got)
+	}
+	if tab.Open() != 3 {
+		t.Fatalf("Open() = %d, want 3", tab.Open())
+	}
+	if _, err := tab.Get(7); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("Get(7) err = %v, want ErrBadFD", err)
+	}
+	if err := tab.Close(fd1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(fd1); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("double close err = %v, want ErrBadFD", err)
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RegimeFused.String() != "fused" || RegimePopcorn.String() != "popcorn" || RegimeAuto.String() != "auto" {
+		t.Fatalf("Regime.String broken: %v %v %v", RegimeFused, RegimePopcorn, RegimeAuto)
+	}
+}

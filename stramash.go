@@ -39,6 +39,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // Machine construction.
@@ -127,6 +128,48 @@ const (
 	VMAWrite = kernel.VMAWrite
 	// VMAExec marks an area executable.
 	VMAExec = kernel.VMAExec
+)
+
+// File system. Every machine boots with one system-wide in-memory file
+// system whose data pages live in simulated physical memory; Task methods
+// (OpenFile, ReadFileAt, WriteFileAt, MmapFile, ...) are the syscall
+// surface. MachineConfig.FileCache picks the page-cache coherence regime.
+type (
+	// FileCacheRegime selects how the two kernels keep file pages coherent.
+	FileCacheRegime = vfs.Regime
+	// OpenFlags are Task.OpenFile mode bits.
+	OpenFlags = vfs.OpenFlags
+	// FileStats are the page-cache counters (Machine.FileStats).
+	FileStats = vfs.Stats
+)
+
+// Page-cache coherence regimes for MachineConfig.FileCache.
+const (
+	// FileCacheAuto follows the OS personality: fused kernels share one
+	// page cache, multiple-kernel baselines replicate per kernel.
+	FileCacheAuto = vfs.RegimeAuto
+	// FileCacheFused is one shared page cache reached by both ISAs through
+	// cache-coherent loads and stores.
+	FileCacheFused = vfs.RegimeFused
+	// FileCachePopcorn keeps a per-kernel page cache with DSM-style
+	// invalidate/writeback messages between the kernels.
+	FileCachePopcorn = vfs.RegimePopcorn
+)
+
+// Open flags for Task.OpenFile.
+const (
+	// ORead opens for reading.
+	ORead = vfs.ORead
+	// OWrite opens for writing.
+	OWrite = vfs.OWrite
+	// ORDWR opens for both.
+	ORDWR = vfs.ORDWR
+	// OCreate creates the file if absent.
+	OCreate = vfs.OCreate
+	// OTrunc truncates on open.
+	OTrunc = vfs.OTrunc
+	// OAppend positions sequential writes at the end.
+	OAppend = vfs.OAppend
 )
 
 // Workloads.
