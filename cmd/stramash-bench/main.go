@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -51,7 +53,25 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable JSON report to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
+	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
+	hostprocs := flag.Int("hostprocs", 0, "concurrent machine runs within pooled experiments (0 = leave at 1)")
 	flag.Parse()
+
+	eng, err := machine.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if eng != machine.EngineAuto {
+		machine.DefaultEngine = eng
+	}
+	if *epochFlag > 0 {
+		machine.DefaultEpoch = sim.Cycles(*epochFlag)
+	}
+	if *hostprocs > 0 {
+		experiments.HostProcs = *hostprocs
+	}
 
 	if *list {
 		for _, s := range experiments.All() {

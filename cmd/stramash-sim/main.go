@@ -35,6 +35,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/npb"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -48,7 +49,21 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print the per-class cycle-attribution report")
 	fileIO := flag.Bool("fileio", false, "run the cross-ISA shared-file workload under both page-cache regimes")
+	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
+	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	flag.Parse()
+
+	eng, err := machine.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if eng != machine.EngineAuto {
+		machine.DefaultEngine = eng
+	}
+	if *epochFlag > 0 {
+		machine.DefaultEpoch = sim.Cycles(*epochFlag)
+	}
 
 	if *fileIO {
 		fatal(runFileIO())

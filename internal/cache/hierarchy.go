@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -36,6 +37,13 @@ type level struct {
 	mru   *way
 	assoc int
 	mask  uint64
+	// tick is the level's private LRU clock, bumped once per stamp. Keeping
+	// it per level (rather than hierarchy-global) lets the two nodes' private
+	// levels be stamped concurrently by the parallel engine; victim selection
+	// compares timestamps only within one level, where the stamp order — and
+	// therefore every eviction decision — is identical to the sequential
+	// engine's.
+	tick int64
 }
 
 func newLevel(c LevelConfig) *level {
@@ -76,25 +84,39 @@ func (l *level) lookup(a lineAddr) *way {
 // the way now holding a (so callers can mark it dirty without a second set
 // scan) plus the evicted line and whether an eviction of a valid (possibly
 // dirty) line happened.
-func (l *level) insert(a lineAddr, tick int64) (filled *way, evicted lineAddr, wasValid, wasDirty bool) {
+func (l *level) insert(a lineAddr) (filled *way, evicted lineAddr, wasValid, wasDirty bool) {
 	if l == nil {
 		return nil, 0, false, false
 	}
 	set := l.setOf(a)
+	victim := l.victimIn(set)
+	w := &set[victim]
+	evicted, wasValid, wasDirty = w.line, w.valid, w.dirty
+	l.tick++
+	*w = way{line: a, valid: true, used: l.tick}
+	return w, evicted, wasValid, wasDirty
+}
+
+// victimIn returns the index insert would evict from the given set: the
+// first invalid way, else the least recently used. Factored out so the
+// ParallelSafe probe can predict an eviction without performing it.
+func (l *level) victimIn(set []way) int {
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
-			victim = i
-			break
+			return i
 		}
 		if set[i].used < set[victim].used {
 			victim = i
 		}
 	}
-	w := &set[victim]
-	evicted, wasValid, wasDirty = w.line, w.valid, w.dirty
-	*w = way{line: a, valid: true, used: tick}
-	return w, evicted, wasValid, wasDirty
+	return victim
+}
+
+// stamp marks a way most recently used.
+func (l *level) stamp(w *way) {
+	l.tick++
+	w.used = l.tick
 }
 
 // invalidate removes a from the level, returning whether it was present and
@@ -156,16 +178,41 @@ type nodeCaches struct {
 	coreStats []CoreStats
 }
 
+// dirShard indexes the directory shard a line belongs to, derived from the
+// owner of the memory region containing it: shard 0 and 1 hold lines of
+// node-owned regions, shard 2 holds lines of shared-pool regions and of
+// addresses outside every region. Sharding by region owner means a node
+// running inside the parallel engine's domain phase — which ParallelSafe
+// restricts to its own regions' lines — mutates only its own shard, so the
+// two nodes' directory traffic never races.
+type dirShard int8
+
+const (
+	shardNode0 dirShard = 0
+	shardNode1 dirShard = 1
+	shardOther dirShard = 2
+)
+
+// shardBound is one entry of the precomputed region→shard table: lines at
+// or above start (and below the next bound) belong to shard.
+type shardBound struct {
+	start lineAddr
+	shard dirShard
+}
+
 // Hierarchy is the machine-wide memory system timing model.
 type Hierarchy struct {
 	cfg      Config
 	layout   *mem.Layout
 	nodes    [2]*nodeCaches
 	sharedL3 *level
-	dir      dirTable
+	// dirs is the coherence directory, sharded by the owner of the region a
+	// line lives in (see dirShard). The split changes no simulated result:
+	// a line's entry is always in exactly one shard, found by shardOf.
+	dirs   [3]dirTable
+	bounds []shardBound
 	// hints are the per-node, per-core last-line directory slot caches.
 	hints [2][]dirHint
-	tick  int64
 
 	// Tap, when set, observes every access before it is simulated. The
 	// Figure 8 validation uses it to replay the identical reference stream
@@ -188,7 +235,11 @@ type Hierarchy struct {
 // NewHierarchy builds the cache model for the given configuration and
 // physical layout.
 func NewHierarchy(cfg Config, layout *mem.Layout) *Hierarchy {
-	h := &Hierarchy{cfg: cfg, layout: layout, dir: newDirTable()}
+	h := &Hierarchy{cfg: cfg, layout: layout}
+	for i := range h.dirs {
+		h.dirs[i] = newDirTable()
+	}
+	h.bounds = buildShardBounds(layout)
 	for n := 0; n < 2; n++ {
 		nc := &nodeCaches{coreStats: make([]CoreStats, cfg.Nodes[n].Cores)}
 		h.hints[n] = make([]dirHint, cfg.Nodes[n].Cores)
@@ -237,7 +288,7 @@ func (h *Hierarchy) ResetStats() {
 // state and charges no simulated cycles.
 func (h *Hierarchy) CheckMESI() error {
 	var err error
-	h.dir.forEach(func(ln lineAddr, e *dirEntry) {
+	h.forEachEntry(func(ln lineAddr, e *dirEntry) {
 		if err != nil {
 			return
 		}
@@ -267,23 +318,54 @@ func (h *Hierarchy) TraceContext(cycle int64, tid int32) {
 	h.ctxTid = tid
 }
 
+// buildShardBounds flattens the layout's region list into a sorted table of
+// (start line, shard) boundaries covering the whole address space; gaps
+// between regions map to shardOther.
+func buildShardBounds(layout *mem.Layout) []shardBound {
+	regions := append([]mem.Region(nil), layout.Regions...)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Start < regions[j].Start })
+	bounds := []shardBound{{start: 0, shard: shardOther}}
+	for _, r := range regions {
+		sh := shardOther
+		if r.Owner == 0 || r.Owner == 1 {
+			sh = dirShard(r.Owner)
+		}
+		s, e := lineOf(r.Start), lineOf(r.End()+mem.LineSize-1)
+		if last := &bounds[len(bounds)-1]; last.start == s {
+			last.shard = sh
+		} else {
+			bounds = append(bounds, shardBound{start: s, shard: sh})
+		}
+		bounds = append(bounds, shardBound{start: e, shard: shardOther})
+	}
+	return bounds
+}
+
+// shardOf returns the directory shard holding line a.
+func (h *Hierarchy) shardOf(a lineAddr) *dirTable {
+	return &h.dirs[h.shardIndexOf(a)]
+}
+
 // entry returns the directory entry for a line, creating it as uncached.
 // The pointer is valid only until the next directory mutation.
 func (h *Hierarchy) entry(a lineAddr) *dirEntry {
-	_, e := h.dir.ensure(a)
+	_, e := h.shardOf(a).ensure(a)
 	return e
 }
 
 // entryFor is entry with the accessing core's last-line hint: a repeat
-// access to the same line by the same core skips hashing and probing.
+// access to the same line by the same core skips hashing and probing. The
+// hint needs no shard field: a line's shard is a pure function of its
+// address, so re-deriving it and checking the slot key is enough.
 func (h *Hierarchy) entryFor(node, core int, a lineAddr) *dirEntry {
+	d := h.shardOf(a)
 	ht := &h.hints[node][core]
-	if ht.ok && ht.ln == a {
-		if s := &h.dir.slots[ht.idx]; s.used && s.key == a {
+	if ht.ok && ht.ln == a && int(ht.idx) < len(d.slots) {
+		if s := &d.slots[ht.idx]; s.used && s.key == a {
 			return &s.e
 		}
 	}
-	idx, e := h.dir.ensure(a)
+	idx, e := d.ensure(a)
 	*ht = dirHint{ln: a, idx: int32(idx), ok: true}
 	return e
 }
@@ -313,7 +395,6 @@ func (h *Hierarchy) Access(node mem.NodeID, core int, kind Kind, addr mem.PhysAd
 
 // accessLine performs the per-line simulation: coherence, lookup, fill.
 func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycles {
-	h.tick++
 	nc := h.nodes[node]
 	st := &nc.stats
 	lat := h.cfg.Nodes[node].Lat
@@ -347,7 +428,7 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			w = l1.lookup(ln)
 		}
 		if w != nil {
-			w.used = h.tick
+			l1.stamp(w)
 			if kind == Ifetch {
 				st.L1IHits++
 				cs.L1IHits++
@@ -414,7 +495,7 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			w = l1.lookup(ln)
 		}
 		if w != nil {
-			w.used = h.tick
+			l1.stamp(w)
 			w.dirty = true
 			st.L1DHits++
 			cs.L1DHits++
@@ -436,7 +517,7 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 		}
 	}
 	if w := w2; w != nil {
-		w.used = h.tick
+		l2.stamp(w)
 		if isWrite {
 			w.dirty = true
 		}
@@ -460,7 +541,7 @@ func (h *Hierarchy) accessLine(node, core int, kind Kind, ln lineAddr) sim.Cycle
 			w3 = l3.lookup(ln)
 		}
 		if w := w3; w != nil {
-			w.used = h.tick
+			l3.stamp(w)
 			if isWrite {
 				w.dirty = true
 			}
@@ -516,7 +597,7 @@ func (h *Hierarchy) fillLevel(node, core int, l *level, ln lineAddr, dirty bool)
 	if l == nil {
 		return
 	}
-	w, _, _, _ := l.insert(ln, h.tick)
+	w, _, _, _ := l.insert(ln)
 	if dirty {
 		w.dirty = true
 	}
@@ -531,7 +612,7 @@ func (h *Hierarchy) fillL3(node, core int, l3 *level, ln lineAddr, dirty bool, l
 	st := &h.nodes[node].stats
 	if l3 == nil {
 		// Small configs without an L3 enforce inclusion at L2 instead.
-		w, evicted, wasValid, wasDirty := h.nodes[node].l2[core].insert(ln, h.tick)
+		w, evicted, wasValid, wasDirty := h.nodes[node].l2[core].insert(ln)
 		if wasValid {
 			h.onLastLevelEvict(node, evicted, wasDirty)
 		}
@@ -542,7 +623,7 @@ func (h *Hierarchy) fillL3(node, core int, l3 *level, ln lineAddr, dirty bool, l
 		}
 		return
 	}
-	w, evicted, wasValid, wasDirty := l3.insert(ln, h.tick)
+	w, evicted, wasValid, wasDirty := l3.insert(ln)
 	if dirty {
 		w.dirty = true
 	}
@@ -586,7 +667,7 @@ func (h *Hierarchy) onLastLevelEvict(node int, ln lineAddr, dirty bool) {
 		}
 	}
 	if !e.holders[0] && !e.holders[1] {
-		h.dir.remove(ln)
+		h.shardOf(ln).remove(ln)
 	}
 }
 
@@ -609,17 +690,26 @@ func (h *Hierarchy) invalidateNode(node int, ln lineAddr) {
 // HoldsLine reports whether node currently caches the line containing addr
 // according to the coherence directory (used by invariant tests).
 func (h *Hierarchy) HoldsLine(node mem.NodeID, addr mem.PhysAddr) bool {
-	e := h.dir.get(lineOf(addr))
+	ln := lineOf(addr)
+	e := h.shardOf(ln).get(ln)
 	return e != nil && e.holders[node]
 }
 
 // OwnerOf returns the node holding the line M/E, or -1 if shared/uncached.
 func (h *Hierarchy) OwnerOf(addr mem.PhysAddr) int {
-	e := h.dir.get(lineOf(addr))
+	ln := lineOf(addr)
+	e := h.shardOf(ln).get(ln)
 	if e == nil {
 		return -1
 	}
 	return int(e.owner)
+}
+
+// forEachEntry visits every live directory entry across all shards.
+func (h *Hierarchy) forEachEntry(f func(lineAddr, *dirEntry)) {
+	for i := range h.dirs {
+		h.dirs[i].forEach(f)
+	}
 }
 
 // Flush empties every cache in the machine (contents only; stats remain).
@@ -637,7 +727,9 @@ func (h *Hierarchy) Flush() {
 	if h.sharedL3 != nil {
 		h.sharedL3.flushAll()
 	}
-	h.dir.reset()
+	for i := range h.dirs {
+		h.dirs[i].reset()
+	}
 	for n := range h.hints {
 		for c := range h.hints[n] {
 			h.hints[n][c] = dirHint{}

@@ -1,0 +1,220 @@
+package experiments
+
+// Differential tests for the host-parallel simulation engine at the
+// experiment level. The engine contract is absolute: -engine=par is a
+// wall-clock knob, never a results knob. Every test here runs the same
+// experiment under the sequential driver and the parallel driver and
+// demands byte-identical rendered reports and identical exported cycle
+// metrics — at any GOMAXPROCS, any epoch length, and any -hostprocs row
+// pooling.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// withEngine runs fn with the package-level engine knobs overridden and
+// restores them afterwards. The knobs are process-global, so tests using
+// this helper must not run in parallel with each other.
+func withEngine(engine machine.EngineKind, epoch sim.Cycles, hostprocs int, fn func()) {
+	prevEngine, prevEpoch, prevProcs := machine.DefaultEngine, machine.DefaultEpoch, HostProcs
+	defer func() {
+		machine.DefaultEngine, machine.DefaultEpoch, HostProcs = prevEngine, prevEpoch, prevProcs
+	}()
+	machine.DefaultEngine = engine
+	if epoch > 0 {
+		machine.DefaultEpoch = epoch
+	}
+	if hostprocs > 0 {
+		HostProcs = hostprocs
+	}
+	fn()
+}
+
+// renderSpec runs one spec at the given scale and returns the canonical
+// rendered report plus the exported metrics map (nil when the result does
+// not implement CycleMetrics).
+func renderSpec(t *testing.T, spec Spec, scale Scale) (string, map[string]int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	res, _, err := RunAndReport(&buf, spec, scale)
+	if err != nil {
+		t.Fatalf("%s: %v", spec.ID, err)
+	}
+	var metrics map[string]int64
+	if cm, ok := res.(CycleMetrics); ok {
+		metrics = cm.Metrics()
+	}
+	return buf.String(), metrics
+}
+
+// diffSpec asserts one spec is identical under both drivers at the given
+// epoch and host-pool width.
+func diffSpec(t *testing.T, spec Spec, scale Scale, epoch sim.Cycles, hostprocs int) {
+	t.Helper()
+	var seqOut, parOut string
+	var seqMetrics, parMetrics map[string]int64
+	withEngine(machine.EngineSeq, 0, 1, func() {
+		seqOut, seqMetrics = renderSpec(t, spec, scale)
+	})
+	withEngine(machine.EnginePar, epoch, hostprocs, func() {
+		parOut, parMetrics = renderSpec(t, spec, scale)
+	})
+	if parOut != seqOut {
+		t.Errorf("%s: rendered report diverged under parallel engine (epoch=%d hostprocs=%d)\nseq:\n%s\npar:\n%s",
+			spec.ID, epoch, hostprocs, seqOut, parOut)
+	}
+	if len(seqMetrics) != len(parMetrics) {
+		t.Errorf("%s: metric count diverged: seq %d, par %d", spec.ID, len(seqMetrics), len(parMetrics))
+	}
+	for k, v := range seqMetrics {
+		if pv, ok := parMetrics[k]; !ok || pv != v {
+			t.Errorf("%s: metric %q: seq %d, par %d", spec.ID, k, v, pv)
+		}
+	}
+}
+
+// shortDiffIDs is the subset exercised under -short: the two experiments
+// that historically exposed engine divergences (fig13's futex ping-pong
+// flushed out the DSM revocation hole, fig14's redis polling flushed out
+// the read-hit ordering hole) plus the two row-pooled extras.
+var shortDiffIDs = []string{"fig13", "fig14", "multicore", "filesys"}
+
+// TestEngineDifferentialAllSpecs runs every paper experiment and both
+// extras under the sequential and parallel drivers at Quick scale and
+// demands byte-identical reports and metrics. Under -short only the
+// historically sensitive subset runs.
+func TestEngineDifferentialAllSpecs(t *testing.T) {
+	specs := append(All(), Extra()...)
+	if testing.Short() {
+		var subset []Spec
+		for _, id := range shortDiffIDs {
+			s, ok := Find(id)
+			if !ok {
+				t.Fatalf("unknown short-mode spec %q", id)
+			}
+			subset = append(subset, s)
+		}
+		specs = subset
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			diffSpec(t, spec, Quick, 0, 4)
+		})
+	}
+}
+
+// TestEngineDifferentialGOMAXPROCS pins the historically divergent futex
+// experiment and re-runs the parallel driver at host parallelism 1, 2,
+// and 8: simulated results must not notice host scheduling.
+func TestEngineDifferentialGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-GOMAXPROCS differential is long; run without -short")
+	}
+	spec, _ := Find("fig13")
+	var want string
+	withEngine(machine.EngineSeq, 0, 1, func() {
+		want, _ = renderSpec(t, spec, Quick)
+	})
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		var got string
+		withEngine(machine.EnginePar, 0, 1, func() {
+			got, _ = renderSpec(t, spec, Quick)
+		})
+		if got != want {
+			t.Errorf("GOMAXPROCS=%d: parallel engine diverged", procs)
+		}
+	}
+}
+
+// TestEngineEpochMetamorphic varies only the epoch length on one real
+// experiment. Coarse, default, and fine epochs must all render the exact
+// sequential report; the degenerate 1-cycle epoch is covered at the sim
+// layer where a run is cheap enough to afford a barrier per cycle.
+func TestEngineEpochMetamorphic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("epoch sweep is long; run without -short")
+	}
+	spec, _ := Find("fig13")
+	var want string
+	withEngine(machine.EngineSeq, 0, 1, func() {
+		want, _ = renderSpec(t, spec, Quick)
+	})
+	for _, epoch := range []sim.Cycles{1000, sim.DefaultEpoch, 10 * sim.DefaultEpoch} {
+		var got string
+		withEngine(machine.EnginePar, epoch, 1, func() {
+			got, _ = renderSpec(t, spec, Quick)
+		})
+		if got != want {
+			t.Errorf("epoch=%d: parallel engine diverged", epoch)
+		}
+	}
+}
+
+// TestEngineHostPoolRows drives the row-pooled experiments (multicore
+// rows, filesys cells) at several -hostprocs widths; result assembly is
+// by row index, so the report must be identical at any width.
+func TestEngineHostPoolRows(t *testing.T) {
+	for _, spec := range Extra() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			var want string
+			withEngine(machine.EngineSeq, 0, 1, func() {
+				want, _ = renderSpec(t, spec, Quick)
+			})
+			widths := []int{2, 4}
+			if testing.Short() {
+				widths = []int{4}
+			}
+			for _, procs := range widths {
+				var got string
+				withEngine(machine.EnginePar, 0, procs, func() {
+					got, _ = renderSpec(t, spec, Quick)
+				})
+				if got != want {
+					t.Errorf("hostprocs=%d: %s diverged", procs, spec.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineTracedRunsFallBack: a machine built with a tracer must behave
+// identically whether the default engine is seq or par, because trace
+// streams are defined by the sequential schedule and RunParallel falls
+// back to Run when a tracer is installed. Both the cycle count and the
+// recorded event stream must match.
+func TestEngineTracedRunsFallBack(t *testing.T) {
+	seqCycles, seqBuf, err := tracedFutexRun(30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parCycles sim.Cycles
+	var parBuf interface {
+		Len() int
+	}
+	withEngine(machine.EnginePar, 0, 1, func() {
+		c, buf, perr := tracedFutexRun(30, true)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		parCycles, parBuf = c, buf
+		if fmt.Sprintf("%+v", buf.Events) != fmt.Sprintf("%+v", seqBuf.Events) {
+			t.Error("traced parallel run recorded a different event stream")
+		}
+	})
+	if parCycles != seqCycles {
+		t.Errorf("traced run cycles diverged: seq %d, par %d", seqCycles, parCycles)
+	}
+	if parBuf.Len() != seqBuf.Len() {
+		t.Errorf("trace lengths diverged: seq %d, par %d", seqBuf.Len(), parBuf.Len())
+	}
+}

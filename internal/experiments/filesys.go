@@ -53,14 +53,27 @@ func Filesys(s Scale) (Result, error) {
 		rounds = 4
 	}
 	res := &FilesysResult{FilePages: filePages, Rounds: rounds}
+	type cell struct {
+		regime vfs.Regime
+		cores  int
+	}
+	var cells []cell
 	for _, regime := range []vfs.Regime{vfs.RegimeFused, vfs.RegimePopcorn} {
 		for _, cores := range filesysCores {
-			row, err := filesysRun(regime, cores, filePages, rounds)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, row)
+			cells = append(cells, cell{regime, cores})
 		}
+	}
+	res.Rows = make([]FilesysRow, len(cells))
+	err := forEachRow(len(cells), func(i int) error {
+		row, err := filesysRun(cells[i].regime, cells[i].cores, filePages, rounds)
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

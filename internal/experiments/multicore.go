@@ -59,61 +59,75 @@ func Multicore(s Scale) (Result, error) {
 		passes = 4
 	}
 	res := &MulticoreResult{Workers: multicoreWorkers}
-	for _, cores := range multicoreCores {
-		m, err := machine.New(machine.Config{
-			Model:        mem.Shared,
-			OS:           machine.StramashOS,
-			Cores:        cores,
-			Sched:        kernel.SchedTimeSlice,
-			SchedQuantum: 20_000,
-		})
+	res.Rows = make([]MulticoreRow, len(multicoreCores))
+	err := forEachRow(len(multicoreCores), func(i int) error {
+		row, err := multicoreRun(multicoreCores[i], bufBytes, compute, passes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := MulticoreRow{Cores: cores}
-		r, err := m.RunSingle("mt-main", mem.NodeX86, func(main *kernel.Task) error {
-			base, err := main.Proc.Mmap(uint64(multicoreWorkers*bufBytes), kernel.VMARead|kernel.VMAWrite, "mt-buf")
-			if err != nil {
-				return err
-			}
-			main.BeginTimed()
-			kids := make([]*kernel.ClonedTask, 0, multicoreWorkers)
-			for i := 0; i < multicoreWorkers; i++ {
-				wbase := base + pgtable.VirtAddr(i*bufBytes)
-				c, err := main.Clone(fmt.Sprintf("mt-worker%d", i), i%cores, func(w *kernel.Task) error {
-					return multicoreWork(w, wbase, bufBytes, passes, compute)
-				})
-				if err != nil {
-					return err
-				}
-				kids = append(kids, c)
-			}
-			for _, c := range kids {
-				if err := c.Join(main); err != nil {
-					return err
-				}
-			}
-			row.Makespan = main.TimedCycles()
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		row.Wall = r.Elapsed()
-		for c := 0; c < cores; c++ {
-			cpu := m.Sched.CPUOf(mem.NodeX86, c)
-			row.Preemptions += cpu.Preemptions
-			row.Dispatches += cpu.Dispatches
-			row.CoreBusy = append(row.CoreBusy, cpu.Busy)
-			row.CoreL1D = append(row.CoreL1D, m.Plat.Caches.CoreStats(mem.NodeX86, c).L1DAccesses)
-		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	base := float64(res.Rows[0].Makespan)
 	for i := range res.Rows {
 		res.Rows[i].Speedup = ratio(base, float64(res.Rows[i].Makespan))
 	}
 	return res, nil
+}
+
+// multicoreRun measures one core-count row on its own isolated machine.
+func multicoreRun(cores, bufBytes int, compute int64, passes int) (MulticoreRow, error) {
+	m, err := machine.New(machine.Config{
+		Model:        mem.Shared,
+		OS:           machine.StramashOS,
+		Cores:        cores,
+		Sched:        kernel.SchedTimeSlice,
+		SchedQuantum: 20_000,
+	})
+	if err != nil {
+		return MulticoreRow{}, err
+	}
+	row := MulticoreRow{Cores: cores}
+	r, err := m.RunSingle("mt-main", mem.NodeX86, func(main *kernel.Task) error {
+		base, err := main.Proc.Mmap(uint64(multicoreWorkers*bufBytes), kernel.VMARead|kernel.VMAWrite, "mt-buf")
+		if err != nil {
+			return err
+		}
+		main.BeginTimed()
+		kids := make([]*kernel.ClonedTask, 0, multicoreWorkers)
+		for i := 0; i < multicoreWorkers; i++ {
+			wbase := base + pgtable.VirtAddr(i*bufBytes)
+			c, err := main.Clone(fmt.Sprintf("mt-worker%d", i), i%cores, func(w *kernel.Task) error {
+				return multicoreWork(w, wbase, bufBytes, passes, compute)
+			})
+			if err != nil {
+				return err
+			}
+			kids = append(kids, c)
+		}
+		for _, c := range kids {
+			if err := c.Join(main); err != nil {
+				return err
+			}
+		}
+		row.Makespan = main.TimedCycles()
+		return nil
+	})
+	if err != nil {
+		return MulticoreRow{}, err
+	}
+	row.Wall = r.Elapsed()
+	for c := 0; c < cores; c++ {
+		cpu := m.Sched.CPUOf(mem.NodeX86, c)
+		row.Preemptions += cpu.Preemptions
+		row.Dispatches += cpu.Dispatches
+		row.CoreBusy = append(row.CoreBusy, cpu.Busy)
+		row.CoreL1D = append(row.CoreL1D, m.Plat.Caches.CoreStats(mem.NodeX86, c).L1DAccesses)
+	}
+	return row, nil
 }
 
 // multicoreWork is one worker's body: first-touch a private buffer, then

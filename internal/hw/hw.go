@@ -121,6 +121,10 @@ func (p *Platform) RegisterIPIHandler(node mem.NodeID, core int, h func(when sim
 // handler observes the configured delivery latency (§7.2: AArch64 SGI and
 // x86 APIC extended with routing logic to the peer ISA).
 func (p *Platform) SendIPI(t *sim.Thread, to mem.NodeID, core int) {
+	// The doorbell pokes another core's handler (typically waking its
+	// thread), which may live in another clock domain.
+	t.BeginSerial()
+	defer t.EndSerial()
 	const sendCost = 100 // APIC/SGI register write + routing logic
 	t.Advance(sendCost)
 	p.ipiCount[to]++
@@ -157,7 +161,15 @@ func (p *Platform) NewPort(node mem.NodeID, core int, t *sim.Thread) *Port {
 }
 
 // charge pushes one access through the cache model and advances the clock.
+// In the parallel engine's domain phase a charge may proceed locally only
+// when the cache model proves it confined to this node (ParallelSafe);
+// otherwise the thread parks and the charge runs under the global token.
+// Charge-only callers (Fetch, Compute's ifetch stream) get their domain
+// fast path from this one check.
 func (pt *Port) charge(kind cache.Kind, addr mem.PhysAddr, size int) {
+	if pt.T.InLocal() && !pt.Plat.Caches.ParallelSafe(pt.Node, pt.Core, kind, addr, size) {
+		pt.T.CrossDomain()
+	}
 	if pt.Plat.Tracer != nil {
 		pt.Plat.Caches.TraceContext(int64(pt.T.Now()), int32(pt.T.ID))
 	}
@@ -165,43 +177,65 @@ func (pt *Port) charge(kind cache.Kind, addr mem.PhysAddr, size int) {
 	pt.T.Advance(lat)
 }
 
+// Data-moving Port methods always run under the global token: the byte
+// side goes through Physical's shared last-frame cache, which domains must
+// not race on, and Port-level traffic is kernel-structure traffic (rings,
+// futex blocks, page tables) whose ordering the serial phase preserves.
+// CrossDomain is a no-op outside the parallel engine's domain phase; the
+// per-task Load/Store fast paths (kernel.Task) bypass Port entirely.
+
 // Read loads n bytes at addr.
 func (pt *Port) Read(addr mem.PhysAddr, n int) []byte {
+	pt.T.BeginSerial()
 	pt.charge(cache.Read, addr, n)
-	return pt.Plat.Phys.Read(addr, n)
+	out := pt.Plat.Phys.Read(addr, n)
+	pt.T.EndSerial()
+	return out
 }
 
 // Write stores data at addr.
 func (pt *Port) Write(addr mem.PhysAddr, data []byte) {
+	pt.T.BeginSerial()
 	pt.charge(cache.Write, addr, len(data))
 	pt.Plat.Phys.Write(addr, data)
+	pt.T.EndSerial()
 }
 
 // ReadUint loads up to 8 bytes at addr, little-endian, without allocating.
 // The cache model is charged for the full n bytes, exactly like Read; only
 // the data-movement side differs (a register value instead of a slice).
 func (pt *Port) ReadUint(addr mem.PhysAddr, n int) uint64 {
+	pt.T.BeginSerial()
 	pt.charge(cache.Read, addr, n)
-	return pt.Plat.Phys.ReadUint(addr, n)
+	out := pt.Plat.Phys.ReadUint(addr, n)
+	pt.T.EndSerial()
+	return out
 }
 
 // WriteUint stores n bytes of v at addr, little-endian, without allocating
 // (bytes past the eighth are written as zero). Charged exactly like Write.
 func (pt *Port) WriteUint(addr mem.PhysAddr, n int, v uint64) {
+	pt.T.BeginSerial()
 	pt.charge(cache.Write, addr, n)
 	pt.Plat.Phys.WriteUint(addr, n, v)
+	pt.T.EndSerial()
 }
 
 // Read64 loads a 64-bit little-endian word.
 func (pt *Port) Read64(addr mem.PhysAddr) uint64 {
+	pt.T.BeginSerial()
 	pt.charge(cache.Read, addr, 8)
-	return pt.Plat.Phys.Read64(addr)
+	out := pt.Plat.Phys.Read64(addr)
+	pt.T.EndSerial()
+	return out
 }
 
 // Write64 stores a 64-bit little-endian word.
 func (pt *Port) Write64(addr mem.PhysAddr, v uint64) {
+	pt.T.BeginSerial()
 	pt.charge(cache.Write, addr, 8)
 	pt.Plat.Phys.Write64(addr, v)
+	pt.T.EndSerial()
 }
 
 // CompareAndSwap64 is the cross-ISA atomic primitive (§6.5): x86 LOCK
@@ -209,6 +243,8 @@ func (pt *Port) Write64(addr mem.PhysAddr, v uint64) {
 // coherence protocol must gain exclusive ownership either way) plus a small
 // fixed atomic-op penalty.
 func (pt *Port) CompareAndSwap64(addr mem.PhysAddr, old, new uint64) (uint64, bool) {
+	pt.T.BeginSerial()
+	defer pt.T.EndSerial()
 	const atomicPenalty = 12
 	pt.charge(cache.Write, addr, 8)
 	pt.T.Advance(atomicPenalty)
@@ -221,6 +257,8 @@ func (pt *Port) CompareAndSwap64(addr mem.PhysAddr, old, new uint64) (uint64, bo
 // AtomicAdd64 atomically adds delta to the word at addr, returning the new
 // value (x86 LOCK XADD / Arm LDADD).
 func (pt *Port) AtomicAdd64(addr mem.PhysAddr, delta uint64) uint64 {
+	pt.T.BeginSerial()
+	defer pt.T.EndSerial()
 	const atomicPenalty = 12
 	pt.charge(cache.Write, addr, 8)
 	pt.T.Advance(atomicPenalty)
@@ -240,6 +278,8 @@ func (pt *Port) Fetch(addr mem.PhysAddr, n int) {
 // and writes of the destination (this is what makes DSM page replication
 // expensive, §9.2.3).
 func (pt *Port) CopyPage(dst, src mem.PhysAddr) {
+	pt.T.BeginSerial()
+	defer pt.T.EndSerial()
 	for off := 0; off < mem.PageSize; off += mem.LineSize {
 		pt.charge(cache.Read, src+mem.PhysAddr(off), mem.LineSize)
 		pt.charge(cache.Write, dst+mem.PhysAddr(off), mem.LineSize)
@@ -252,6 +292,8 @@ func (pt *Port) CopyPage(dst, src mem.PhysAddr) {
 // charged channel (e.g. a message carrying a DSM page payload), so charging
 // a remote read of src again would double-count the transfer.
 func (pt *Port) InstallPage(dst, src mem.PhysAddr) {
+	pt.T.BeginSerial()
+	defer pt.T.EndSerial()
 	for off := 0; off < mem.PageSize; off += mem.LineSize {
 		pt.charge(cache.Write, dst+mem.PhysAddr(off), mem.LineSize)
 	}
@@ -260,6 +302,8 @@ func (pt *Port) InstallPage(dst, src mem.PhysAddr) {
 
 // ZeroPage clears a page, charging line-granular writes.
 func (pt *Port) ZeroPage(a mem.PhysAddr) {
+	pt.T.BeginSerial()
+	defer pt.T.EndSerial()
 	for off := 0; off < mem.PageSize; off += mem.LineSize {
 		pt.charge(cache.Write, a+mem.PhysAddr(off), mem.LineSize)
 	}

@@ -195,6 +195,8 @@ func (v *Vanilla) MigrateTask(t *Task, to mem.NodeID) error {
 
 // FutexWait implements OS.
 func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) error {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	f := v.Futexes.Get(t.Proc.PID, uaddr)
 	f.Lock(t.Port)
 	val, err := FutexLoadValue(v.Ctx, t.Port, t.Proc, uaddr)
@@ -221,6 +223,8 @@ func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) er
 
 // FutexWake implements OS.
 func (v *Vanilla) FutexWake(t *Task, uaddr pgtable.VirtAddr, n int) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	f := v.Futexes.Get(t.Proc.PID, uaddr)
 	f.Lock(t.Port)
 	woken := f.Dequeue(t.Port, n)

@@ -78,6 +78,11 @@ type Task struct {
 	// fds is the task's open-file descriptor table, nil until first use.
 	fds *vfs.FDTable
 
+	// fcache is the task-private frame cache for the parallel engine's
+	// domain-local access path, which must not touch Physical's shared
+	// last-frame cache.
+	fcache mem.FrameCache
+
 	Stats  TaskStats
 	exited bool
 
@@ -141,6 +146,7 @@ func NewTaskOn(name string, proc *Process, os OS, ctx *Context, th *sim.Thread, 
 	}
 	t.Port = ctx.Plat.NewPort(t.Node, t.Core, th)
 	t.CodeWin = hw.NewCodeWindow(0x1000, 8<<10)
+	t.fcache = mem.NewFrameCache()
 	t.bindStart = th.Now()
 	proc.Tasks = append(proc.Tasks, t)
 	return t
@@ -216,6 +222,9 @@ func (t *Task) tryTranslate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, bool
 // simulation scheduler, taking OS faults (outside the atomic section) as
 // needed.
 func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr)) error {
+	// Generic accesses (byte copies, CAS, explicit translates) always run
+	// under the global token; only Load/Store have a domain-local fast path.
+	t.Th.CrossDomain()
 	t.Th.BeginAtomic()
 	if pa, ok := t.tryTranslate(va, write); ok {
 		fn(pa)
@@ -231,6 +240,11 @@ func (t *Task) access(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr))
 // walk), so the sequence of walks and faults — try, fault, try, fault … up
 // to four of each — is exactly the one the pre-split loop performed.
 func (t *Task) accessAfterMiss(va pgtable.VirtAddr, write bool, fn func(pa mem.PhysAddr)) error {
+	// Fault handling reaches deep into kernel state (page tables, DSM
+	// protocol, remote shootdowns): strictly a global-token affair for the
+	// whole retry loop (HandleFault yields internally).
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	pva := va &^ (mem.PageSize - 1)
 	for attempt := 0; attempt < 4; attempt++ {
 		start := t.Th.Now()
@@ -280,6 +294,14 @@ func (t *Task) translate(va pgtable.VirtAddr, write bool) (mem.PhysAddr, error) 
 // atomic section, with no closure indirection; the fault path falls back
 // to the shared continuation.
 func (t *Task) Load(va pgtable.VirtAddr, size int) (uint64, error) {
+	if t.Th.InLocal() {
+		if v, ok := t.loadLocal(va, size); ok {
+			return v, nil
+		}
+		// Bailed before touching anything: park and re-execute the whole
+		// access under the global token.
+		t.Th.CrossDomain()
+	}
 	t.Stats.Loads++
 	t.Stats.NodeInstructions[t.Node]++
 	start := t.Th.Now()
@@ -301,6 +323,12 @@ func (t *Task) Load(va pgtable.VirtAddr, size int) (uint64, error) {
 
 // Store writes size bytes of v at va (fast path as in Load).
 func (t *Task) Store(va pgtable.VirtAddr, size int, v uint64) error {
+	if t.Th.InLocal() {
+		if t.storeLocal(va, size, v) {
+			return nil
+		}
+		t.Th.CrossDomain()
+	}
 	t.Stats.Stores++
 	t.Stats.NodeInstructions[t.Node]++
 	start := t.Th.Now()
@@ -317,6 +345,74 @@ func (t *Task) Store(va pgtable.VirtAddr, size int, v uint64) error {
 	})
 	t.Stats.MemAccessCycles += t.Th.Now() - start
 	return err
+}
+
+// loadLocal is Load's domain-parallel fast path. It performs only pure
+// probes — a TLB peek (no miss charged), the cache model's ParallelSafe
+// check, and a non-materializing frame peek — before committing anything;
+// if any probe fails it returns ok=false with the simulation untouched, and
+// the caller re-executes the access from scratch under the global token.
+// The commit phase charges exactly what the sequential TLB-hit path
+// charges, so the two paths are indistinguishable in simulated results.
+func (t *Task) loadLocal(va pgtable.VirtAddr, size int) (uint64, bool) {
+	if t.Proc.RevocableMappings {
+		// A remote actor (DSM protocol, page-cache invalidation) may revoke
+		// this process's mappings; TLB hits must stay ordered against those
+		// revocations in simulated time, so no domain-local fast path.
+		return 0, false
+	}
+	pva := va &^ (mem.PageSize - 1)
+	fr, _, ok := t.tlb[t.Node].lookup(pva)
+	if !ok {
+		return 0, false
+	}
+	pa := fr + mem.PhysAddr(va-pva)
+	plat := t.Ctx.Plat
+	if !plat.Caches.ParallelSafe(t.Node, t.Core, cache.Read, pa, size) {
+		return 0, false
+	}
+	v, ok := plat.Phys.ReadUintLocal(&t.fcache, pa, size)
+	if !ok {
+		return 0, false
+	}
+	t.Stats.Loads++
+	t.Stats.NodeInstructions[t.Node]++
+	start := t.Th.Now()
+	t.Th.BeginAtomic()
+	t.Th.Advance(plat.Caches.Access(t.Node, t.Core, cache.Read, pa, size))
+	t.Th.EndAtomic()
+	t.Stats.MemAccessCycles += t.Th.Now() - start
+	return v, true
+}
+
+// storeLocal is Store's domain-parallel fast path (see loadLocal). The
+// write happens only after every probe — including the presence of all
+// backing frames — has passed, so a bailout leaves memory unmodified.
+func (t *Task) storeLocal(va pgtable.VirtAddr, size int, v uint64) bool {
+	if t.Proc.RevocableMappings {
+		return false
+	}
+	pva := va &^ (mem.PageSize - 1)
+	fr, writable, ok := t.tlb[t.Node].lookup(pva)
+	if !ok || !writable {
+		return false
+	}
+	pa := fr + mem.PhysAddr(va-pva)
+	plat := t.Ctx.Plat
+	if !plat.Caches.ParallelSafe(t.Node, t.Core, cache.Write, pa, size) {
+		return false
+	}
+	if !plat.Phys.WriteUintLocal(&t.fcache, pa, size, v) {
+		return false
+	}
+	t.Stats.Stores++
+	t.Stats.NodeInstructions[t.Node]++
+	start := t.Th.Now()
+	t.Th.BeginAtomic()
+	t.Th.Advance(plat.Caches.Access(t.Node, t.Core, cache.Write, pa, size))
+	t.Th.EndAtomic()
+	t.Stats.MemAccessCycles += t.Th.Now() - start
+	return true
 }
 
 // ReadBytes copies n bytes starting at va (page-crossing allowed).
@@ -387,6 +483,9 @@ func (t *Task) Migrate(to mem.NodeID) error {
 	if to == t.Node {
 		return nil
 	}
+	// Migration crosses clock domains by definition.
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	start := t.Th.Now()
 	if err := t.OS.MigrateTask(t, to); err != nil {
 		return err
@@ -408,6 +507,12 @@ func (t *Task) Migrate(to mem.NodeID) error {
 func (t *Task) Rebind(node mem.NodeID) {
 	t.accountResidency()
 	t.Node = node
+	// Keep the thread's clock domain tracking its node binding — but only
+	// for threads the machine placed in a node domain; boot/setup threads
+	// stay global (they touch state on both nodes without instrumentation).
+	if t.Th.Domain() != sim.GlobalDomain {
+		t.Th.SetDomain(int(node))
+	}
 	if t.Sched != nil {
 		t.Sched.migrated(t)
 	}
@@ -426,6 +531,9 @@ func (t *Task) Exit() error {
 	if t.exited {
 		return nil
 	}
+	// Teardown touches process-wide and kernel-wide state.
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	t.exited = true
 	return t.OS.ExitTask(t)
 }
@@ -495,6 +603,9 @@ func (b *Bus) Migrate(id int) {
 // Touch charges a single cache access of the given kind without data
 // movement; used by OS code modelling structure walks.
 func (t *Task) Touch(kind cache.Kind, pa mem.PhysAddr, size int) {
+	if t.Th.InLocal() && !t.Ctx.Plat.Caches.ParallelSafe(t.Node, t.Core, kind, pa, size) {
+		t.Th.CrossDomain()
+	}
 	if t.Ctx.Plat.Tracer != nil {
 		t.Ctx.Plat.Caches.TraceContext(int64(t.Th.Now()), int32(t.Th.ID))
 	}

@@ -4,7 +4,61 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/vfs"
+)
+
+// EngineKind selects the simulation driver that advances a machine's
+// threads: the sequential driver (one thread at a time in global
+// (clock, ID) order) or the epoch-barriered parallel driver (per-node
+// clock domains on their own host goroutines between barriers). The two
+// produce byte-identical results; the choice trades host cores for wall
+// time only.
+type EngineKind int
+
+const (
+	// EngineAuto defers to the process-wide DefaultEngine (set by CLI
+	// flags); machines built by library code inherit the run's choice.
+	EngineAuto EngineKind = iota
+	// EngineSeq pins the sequential driver.
+	EngineSeq
+	// EnginePar pins the epoch-barriered parallel driver.
+	EnginePar
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAuto:
+		return "auto"
+	case EngineSeq:
+		return "seq"
+	case EnginePar:
+		return "par"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngine maps the CLI spelling of an engine choice to its kind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "seq":
+		return EngineSeq, nil
+	case "par":
+		return EnginePar, nil
+	}
+	return EngineAuto, fmt.Errorf("machine: unknown engine %q (want seq, par or auto)", s)
+}
+
+// DefaultEngine and DefaultEpoch are the process-wide engine defaults
+// used by machines whose Config leaves Engine (EngineAuto) or EpochCycles
+// (zero) unset. CLIs set them from -engine/-epoch flags so every machine a
+// run constructs — including those built deep inside experiment code —
+// follows the run's choice.
+var (
+	DefaultEngine = EngineSeq
+	DefaultEpoch  = sim.DefaultEpoch
 )
 
 // MaxCores is the per-node core-count ceiling. The evaluation platform
@@ -62,6 +116,12 @@ func (c *Config) Validate() error {
 	}
 	if c.FileCache < vfs.RegimeAuto || c.FileCache > vfs.RegimePopcorn {
 		return &ConfigError{Field: "FileCache", Value: c.FileCache, Reason: "unknown page-cache regime"}
+	}
+	if c.Engine < EngineAuto || c.Engine > EnginePar {
+		return &ConfigError{Field: "Engine", Value: c.Engine, Reason: "unknown engine kind"}
+	}
+	if c.EpochCycles < 0 {
+		return &ConfigError{Field: "EpochCycles", Value: c.EpochCycles, Reason: "must not be negative"}
 	}
 	for n := 0; n < 2; n++ {
 		if c.CPI[n] < 0 {

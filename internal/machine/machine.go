@@ -106,6 +106,15 @@ type Config struct {
 	// page cache, multiple-kernel baselines replicate per kernel with DSM
 	// messages. Setting it explicitly decouples the two axes.
 	FileCache vfs.Regime
+	// Engine selects the simulation driver (sequential or epoch-barriered
+	// parallel); EngineAuto follows the process-wide DefaultEngine. The
+	// drivers are result-identical — this knob only trades host cores for
+	// wall time.
+	Engine EngineKind
+	// EpochCycles is the parallel driver's epoch length in simulated
+	// cycles (zero selects DefaultEpoch). Shorter epochs synchronize the
+	// node domains more often; the choice never changes results.
+	EpochCycles sim.Cycles
 }
 
 // reservedLow is the per-node reservation for kernel image, memmap, and
@@ -214,7 +223,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 		bootErr = m.mountVFS(ctx)
 	})
-	if err := plat.Engine.Run(); err != nil {
+	if err := m.runEngine(); err != nil {
 		return nil, err
 	}
 	if bootErr != nil {
@@ -276,6 +285,25 @@ func (m *Machine) mountVFS(ctx *kernel.Context) error {
 	mnt.Cache.SetInvalidateHook(ctx.FileInvalidateHook)
 	ctx.VFS = mnt
 	return nil
+}
+
+// runEngine drives the machine's engine to completion with the configured
+// driver. Boot and setup phases run their single global thread either way;
+// the parallel driver pays off in task phases, where each node's threads
+// advance on their own host goroutine between epoch barriers.
+func (m *Machine) runEngine() error {
+	eng := m.Cfg.Engine
+	if eng == EngineAuto {
+		eng = DefaultEngine
+	}
+	if eng != EnginePar {
+		return m.Plat.Engine.Run()
+	}
+	epoch := m.Cfg.EpochCycles
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	return m.Plat.Engine.RunParallel(epoch)
 }
 
 // msgAreaBase places the messaging area per §8.2: Separated keeps it in
@@ -373,7 +401,7 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 			}
 		}
 	})
-	if err := m.Plat.Engine.Run(); err != nil {
+	if err := m.runEngine(); err != nil {
 		return nil, err
 	}
 	if setupErr != nil {
@@ -385,7 +413,7 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 	for i, s := range specs {
 		i, s := i, s
 		proc := procFor[i]
-		m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
+		th := m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
 			t := kernel.NewTaskOn(s.Name, proc, m.OS, m.Ctx, th, s.Core)
 			results[i].Name = s.Name
 			results[i].Start = s.Start
@@ -399,8 +427,11 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 			results[i].Err = err
 			results[i].End = th.Now()
 		})
+		// Task threads live in their origin node's clock domain; migration
+		// rebinds the domain as it rebinds the port.
+		th.SetDomain(int(s.Origin))
 	}
-	if err := m.Plat.Engine.Run(); err != nil {
+	if err := m.runEngine(); err != nil {
 		return results, err
 	}
 	for _, r := range results {

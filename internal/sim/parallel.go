@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the epoch-barriered conservative-parallel driver. It is the
+// second driver behind the same Engine/Thread interface as Run (the
+// sequential driver); a simulation built once can be driven by either, and
+// the two must produce byte-identical results.
+//
+// The model: every thread belongs to a clock domain (a simulated node, or
+// GlobalDomain). Domain-private state — a node's private caches, its
+// directory shard, per-task TLBs, per-core run queues — may be touched
+// while a thread holds only its domain token. Everything else (coherence
+// across nodes, messaging rings, IPIs, the VFS, kernel allocators) is a
+// cross-domain effect and must run under the single global token, which
+// threads obtain by parking at a CrossDomain call.
+//
+// One epoch proceeds in two alternating phases:
+//
+//   - Domain phase: every domain with runnable threads below the epoch
+//     horizon runs on its own host goroutine. Within a domain, threads run
+//     one at a time in (clock, ID) order — the sequential engine's order
+//     projected onto the domain. A domain stops when it has no runnable
+//     thread below the horizon, or the instant one of its threads parks at
+//     a cross-domain effect point (running a later sibling past a parked
+//     earlier segment would reorder the domain's own sub-schedule).
+//
+//   - Serial phase: after all domains quiesce, parked continuations are
+//     granted the global token one at a time in segment-key order — the
+//     key is the thread's clock when its segment was granted, which is
+//     exactly the order the sequential driver starts segments in. A
+//     granted continuation runs until its next yield point, then the
+//     domain phase reopens.
+//
+// Epoch boundaries are pure functions of simulated clocks (never host
+// scheduling), so the same simulation reaches the same boundaries every
+// run at every GOMAXPROCS. Determinism of the whole scheme additionally
+// rests on the instrumentation contract — domain-phase execution touches
+// only domain-private state, everything else parks first — which
+// DESIGN.md §10 states precisely and the differential battery enforces.
+
+// DefaultEpoch is the default epoch length in cycles. A multiple of the
+// scheduling quantum keeps domain-phase segments from being cut short.
+const DefaultEpoch Cycles = 100_000
+
+// RunParallel drives the simulation to completion with the epoch-barriered
+// parallel driver. An epoch length <= 0 selects DefaultEpoch. When a
+// tracer is installed the sequential driver is used instead: trace byte
+// streams are defined by the sequential schedule, and observation must not
+// change what is observed.
+func (e *Engine) RunParallel(epoch Cycles) error {
+	if e.Tracer != nil {
+		return e.Run()
+	}
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	if e.running {
+		return fmt.Errorf("sim: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	var epochEnd Cycles
+	for {
+		if e.allDone() {
+			return e.firstErr()
+		}
+		parked := e.minParked()
+		next := e.pickNext()
+		if parked == nil && next == nil {
+			return e.deadlockErr()
+		}
+
+		// Serial admission: parked continuations, and every segment while a
+		// thread needing the global token is runnable (its segment may touch
+		// anything, so nothing may run concurrently with it, and segments
+		// around it must keep their sequential order).
+		if parked != nil || e.serialRunnable() {
+			t := parked
+			if t == nil || (next != nil && (next.now < t.segKey ||
+				(next.now == t.segKey && next.ID < t.ID))) {
+				t = next
+			}
+			e.grantSerial(t)
+			if t.err != nil {
+				return t.err
+			}
+			continue
+		}
+
+		// Domain phase. Advance the horizon so it covers the earliest
+		// runnable thread (a function of simulated clocks only).
+		if next.now >= epochEnd {
+			epochEnd = next.now + epoch
+		}
+		if errT := e.runDomainPhase(epochEnd); errT != nil {
+			return errT.err
+		}
+	}
+}
+
+// grantSerial hands t the global execution token for one segment: from its
+// current position (a yield point, or a parked CrossDomain call) to its
+// next yield point, block, park or exit.
+func (e *Engine) grantSerial(t *Thread) {
+	t.local = false
+	if !t.parked {
+		t.segKey = t.now
+	}
+	t.resume <- struct{}{}
+	<-t.yield
+}
+
+// runDomainPhase runs every domain with admissible work on its own host
+// goroutine and waits for all of them to quiesce. It returns the failed
+// thread if any thread errored, preferring the lowest thread ID so the
+// returned error does not depend on host scheduling.
+func (e *Engine) runDomainPhase(epochEnd Cycles) *Thread {
+	var domains []int
+	seen := make(map[int]bool)
+	for _, t := range e.threads {
+		if t.domain == GlobalDomain || t.serialDepth > 0 || seen[t.domain] {
+			continue
+		}
+		if t.state == stateRunnable && t.now < epochEnd {
+			seen[t.domain] = true
+			domains = append(domains, t.domain)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]*Thread, len(domains))
+	for i, d := range domains {
+		wg.Add(1)
+		go func(i, d int) {
+			defer wg.Done()
+			errs[i] = e.runDomain(d, epochEnd)
+		}(i, d)
+	}
+	wg.Wait()
+	var failed *Thread
+	for _, t := range errs {
+		if t != nil && (failed == nil || t.ID < failed.ID) {
+			failed = t
+		}
+	}
+	return failed
+}
+
+// runDomain is one domain's scheduler for one domain phase: it repeatedly
+// grants the domain's runnable thread with the smallest (clock, ID) below
+// the horizon, and stops at quiesce or the moment a thread parks.
+func (e *Engine) runDomain(d int, epochEnd Cycles) (failed *Thread) {
+	for {
+		var best *Thread
+		for _, t := range e.threads {
+			if t.domain != d || t.state != stateRunnable || t.now >= epochEnd || t.serialDepth > 0 {
+				continue
+			}
+			if best == nil || t.now < best.now || (t.now == best.now && t.ID < best.ID) {
+				best = t
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		best.local = true
+		best.segKey = best.now
+		best.resume <- struct{}{}
+		<-best.yield
+		best.local = false
+		if best.err != nil {
+			return best
+		}
+		if best.parked {
+			// The domain freezes behind its parked segment; the serial
+			// phase will continue it in key order.
+			return nil
+		}
+	}
+}
+
+// minParked returns the parked thread with the smallest (segment key, ID).
+func (e *Engine) minParked() *Thread {
+	var best *Thread
+	for _, t := range e.threads {
+		if !t.parked {
+			continue
+		}
+		if best == nil || t.segKey < best.segKey || (t.segKey == best.segKey && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+// serialRunnable reports whether any runnable thread requires the global
+// token: global-domain threads always do, domain threads do while inside a
+// BeginSerial section.
+func (e *Engine) serialRunnable() bool {
+	for _, t := range e.threads {
+		if t.state == stateRunnable && (t.domain == GlobalDomain || t.serialDepth > 0) {
+			return true
+		}
+	}
+	return false
+}

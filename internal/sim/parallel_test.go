@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// discardTracer is a non-nil tracer that drops every event; its presence
+// alone must force RunParallel onto the sequential path.
+type discardTracer struct{}
+
+func (discardTracer) Emit(trace.Event) {}
+
+// The parallel driver's contract is byte-identical results with the
+// sequential driver. These tests exercise it on a synthetic multi-domain
+// workload whose observable outcome — a ledger of cross-domain events in
+// commit order plus every thread's final clock — is sensitive to any
+// scheduling divergence: if the parallel driver ever orders a serial
+// segment differently, runs a domain past an interaction, or loses a
+// wake, the ledger or the clocks change.
+
+// synthWorld is the shared cross-domain state of the synthetic workload.
+// It is touched only under the global token (inside serial sections), so
+// the sequential and parallel drivers must append to the ledger in the
+// same order.
+type synthWorld struct {
+	eng     *Engine
+	threads []*Thread
+	ledger  []string
+	counter int64
+}
+
+// synthSpec sizes one synthetic run.
+type synthSpec struct {
+	domains    int
+	perDomain  int
+	steps      int
+	rendezvous bool // even threads block mid-run, odd threads wake them
+}
+
+// buildSynth spawns the workload. Each thread mixes domain-local work
+// (advances, atomic sections, quantum yields) with cross-domain commits;
+// the mix is a deterministic function of (thread index, step), never of
+// host scheduling.
+func buildSynth(spec synthSpec) *synthWorld {
+	w := &synthWorld{eng: NewEngine()}
+	n := spec.domains * spec.perDomain
+	for i := 0; i < n; i++ {
+		i := i
+		t := w.eng.Spawn(fmt.Sprintf("synth%d", i), Cycles(i*17), func(t *Thread) {
+			for s := 0; s < spec.steps; s++ {
+				if spec.rendezvous && s == spec.steps/2 {
+					if i%2 == 0 {
+						t.Block("synth-rendezvous")
+					} else {
+						// Wakes cross domains: strictly a serial affair.
+						t.BeginSerial()
+						w.eng.Wake(w.threads[i-1], t.Now()+100)
+						w.ledger = append(w.ledger, fmt.Sprintf("t%d s%d wake t%d @%d", i, s, i-1, t.Now()))
+						t.EndSerial()
+					}
+				}
+				switch (s*7 + i*3) % 5 {
+				case 0:
+					// Cross-domain commit: point park, then touch shared
+					// state before the next possible yield.
+					t.CrossDomain()
+					w.counter++
+					w.ledger = append(w.ledger, fmt.Sprintf("t%d s%d @%d c%d", i, s, t.Now(), w.counter))
+					t.Advance(Cycles(13 + i))
+				case 1:
+					// Serial section spanning yields: shared touches on both
+					// sides of a YieldPoint.
+					t.BeginSerial()
+					w.counter += 2
+					t.Advance(Cycles(40000)) // crosses the quantum: yields inside the section
+					t.YieldPoint()
+					w.ledger = append(w.ledger, fmt.Sprintf("t%d s%d serial @%d c%d", i, s, t.Now(), w.counter))
+					t.EndSerial()
+				case 2:
+					// Domain-local atomic work.
+					t.BeginAtomic()
+					t.Advance(Cycles((i*13+s*31)%97 + 1))
+					t.EndAtomic()
+				case 3:
+					t.Advance(Cycles((i+s)%29 + 5))
+				default:
+					// Plain local progress with scheduling points.
+					t.Advance(Cycles((i*7+s)%61 + 1))
+					t.YieldPoint()
+				}
+			}
+		})
+		t.SetDomain(i % spec.domains)
+		w.threads = append(w.threads, t)
+	}
+	return w
+}
+
+// outcome flattens a finished run into a comparable value.
+func (w *synthWorld) outcome() string {
+	out := fmt.Sprintf("counter=%d\n", w.counter)
+	for _, l := range w.ledger {
+		out += l + "\n"
+	}
+	for _, t := range w.threads {
+		out += fmt.Sprintf("final t%d @%d\n", t.ID, t.Now())
+	}
+	return out
+}
+
+// runSynth executes one spec under the chosen driver and returns the
+// outcome.
+func runSynth(t *testing.T, spec synthSpec, epoch Cycles, parallel bool) string {
+	t.Helper()
+	w := buildSynth(spec)
+	var err error
+	if parallel {
+		err = w.eng.RunParallel(epoch)
+	} else {
+		err = w.eng.Run()
+	}
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	return w.outcome()
+}
+
+var synthSpecs = []synthSpec{
+	{domains: 1, perDomain: 1, steps: 40},
+	{domains: 2, perDomain: 1, steps: 60},
+	{domains: 2, perDomain: 3, steps: 80},
+	{domains: 4, perDomain: 2, steps: 50, rendezvous: true},
+	{domains: 3, perDomain: 4, steps: 70, rendezvous: true},
+}
+
+// TestParallelMatchesSequential is the core differential test: for every
+// synthetic spec the parallel driver must reproduce the sequential
+// driver's ledger and final clocks exactly.
+func TestParallelMatchesSequential(t *testing.T) {
+	for si, spec := range synthSpecs {
+		want := runSynth(t, spec, 0, false)
+		got := runSynth(t, spec, 0, true)
+		if got != want {
+			t.Errorf("spec %d: parallel diverged from sequential\nseq:\n%s\npar:\n%s", si, want, got)
+		}
+	}
+}
+
+// TestEpochMetamorphic varies only the epoch length — including the
+// degenerate 1-cycle epoch — and demands identical outcomes. Epoch length
+// must trade wall time, never results.
+func TestEpochMetamorphic(t *testing.T) {
+	spec := synthSpecs[3]
+	want := runSynth(t, spec, 0, false)
+	for _, epoch := range []Cycles{1, 17, 1000, 20000, DefaultEpoch, 10 * DefaultEpoch} {
+		if got := runSynth(t, spec, epoch, true); got != want {
+			t.Errorf("epoch %d diverged from sequential oracle", epoch)
+		}
+	}
+}
+
+// TestParallelDeterminismAcrossGOMAXPROCS re-runs the parallel driver
+// under different host parallelism levels; simulated outcomes must not
+// notice the host.
+func TestParallelDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	spec := synthSpecs[4]
+	want := runSynth(t, spec, 0, false)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			if got := runSynth(t, spec, 0, true); got != want {
+				t.Errorf("GOMAXPROCS=%d rep %d diverged", procs, rep)
+			}
+		}
+	}
+}
+
+// TestRunParallelAlreadyRunning mirrors the sequential driver's re-entry
+// error.
+func TestRunParallelAlreadyRunning(t *testing.T) {
+	e := NewEngine()
+	var inner error
+	e.Spawn("re-entrant", 0, func(t *Thread) {
+		inner = e.RunParallel(0)
+	})
+	if err := e.RunParallel(0); err != nil {
+		t.Fatalf("outer run: %v", err)
+	}
+	if inner == nil {
+		t.Fatal("nested RunParallel did not error")
+	}
+}
+
+// TestRunParallelDeadlock: a blocked thread with no waker must be reported
+// as a deadlock, exactly like the sequential driver.
+func TestRunParallelDeadlock(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		e := NewEngine()
+		th := e.Spawn("stuck", 0, func(t *Thread) {
+			t.Block("never-woken")
+		})
+		th.SetDomain(0)
+		var err error
+		if parallel {
+			err = e.RunParallel(0)
+		} else {
+			err = e.Run()
+		}
+		if err == nil {
+			t.Errorf("parallel=%v: no deadlock error", parallel)
+		}
+	}
+}
+
+// TestRunParallelThreadError: a panicking domain thread surfaces as the
+// run's error under both drivers.
+func TestRunParallelThreadError(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		e := NewEngine()
+		th := e.Spawn("boom", 0, func(t *Thread) {
+			t.Advance(10)
+			panic("synthetic failure")
+		})
+		th.SetDomain(0)
+		var err error
+		if parallel {
+			err = e.RunParallel(0)
+		} else {
+			err = e.Run()
+		}
+		if err == nil {
+			t.Errorf("parallel=%v: thread panic not propagated", parallel)
+		}
+	}
+}
+
+// TestRunParallelTracerFallsBack: an installed tracer forces the
+// sequential driver (trace streams are defined by the sequential
+// schedule), so a traced parallel run must behave exactly like Run.
+func TestRunParallelTracerFallsBack(t *testing.T) {
+	spec := synthSpecs[2]
+	want := runSynth(t, spec, 0, false)
+	w := buildSynth(spec)
+	w.eng.Tracer = discardTracer{}
+	if err := w.eng.RunParallel(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.outcome(); got != want {
+		t.Error("traced RunParallel diverged from sequential")
+	}
+}
+
+// FuzzEpochSchedule fuzzes the workload shape and epoch length against
+// the sequential oracle: any (domains, threads, steps, epoch) the fuzzer
+// finds must still produce identical outcomes under both drivers.
+func FuzzEpochSchedule(f *testing.F) {
+	f.Add(int8(2), int8(2), int16(50), int64(1000), false)
+	f.Add(int8(1), int8(1), int16(10), int64(1), false)
+	f.Add(int8(4), int8(3), int16(60), int64(100000), true)
+	f.Add(int8(3), int8(2), int16(40), int64(7), true)
+	f.Fuzz(func(t *testing.T, domains, perDomain int8, steps int16, epoch int64, rendezvous bool) {
+		d := int(domains)%4 + 1
+		p := int(perDomain)%3 + 1
+		st := int(steps) % 80
+		if d < 1 || p < 1 || st < 1 {
+			t.Skip()
+		}
+		if rendezvous && (d*p)%2 != 0 {
+			// The rendezvous pairing needs an even thread count.
+			rendezvous = false
+		}
+		spec := synthSpec{domains: d, perDomain: p, steps: st, rendezvous: rendezvous}
+		seqW := buildSynth(spec)
+		if err := seqW.eng.Run(); err != nil {
+			t.Fatalf("sequential oracle: %v", err)
+		}
+		parW := buildSynth(spec)
+		if err := parW.eng.RunParallel(Cycles(epoch)); err != nil {
+			t.Fatalf("parallel: %v", err)
+		}
+		if got, want := parW.outcome(), seqW.outcome(); got != want {
+			t.Errorf("divergence at domains=%d per=%d steps=%d epoch=%d\nseq:\n%s\npar:\n%s",
+				d, p, st, epoch, want, got)
+		}
+	})
+}
+
+// benchSink keeps the benchmark's per-step compute from being optimized
+// away.
+var benchSink uint64
+
+// BenchmarkEngineParallel measures host-core scaling of the parallel
+// driver on a domain-heavy workload: 8 domains whose threads carry real
+// host compute between scheduling points (standing in for the cache and
+// translation work a machine thread does per access) and park
+// cross-domain only occasionally. BENCH_pr6.json records its results;
+// on a single-core host expect parity with seq, not speedup.
+func BenchmarkEngineParallel(b *testing.B) {
+	const domains = 8
+	build := func() *Engine {
+		e := NewEngine()
+		for d := 0; d < domains; d++ {
+			d := d
+			t := e.Spawn(fmt.Sprintf("dom%d", d), 0, func(t *Thread) {
+				h := uint64(d + 1)
+				for s := 0; s < 2000; s++ {
+					for k := 0; k < 400; k++ {
+						h ^= h << 13
+						h ^= h >> 7
+						h ^= h << 17
+					}
+					t.Advance(Cycles(h%97 + 1))
+					if s%200 == 199 {
+						t.CrossDomain()
+						t.Advance(10)
+					}
+					if s%10 == 9 {
+						t.YieldPoint()
+					}
+				}
+				benchSink += h
+			})
+			t.SetDomain(d)
+		}
+		return e
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := build().Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par-procs%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+			runtime.GOMAXPROCS(procs)
+			for i := 0; i < b.N; i++ {
+				if err := build().RunParallel(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -56,6 +56,12 @@ func (k Clock) FromNanos(ns float64) Cycles {
 // ThreadID identifies a simulated thread within an Engine.
 type ThreadID int
 
+// GlobalDomain marks a thread that may touch any simulated state (boot,
+// setup, service threads). The parallel driver never runs such threads
+// concurrently with anything else; the sequential driver ignores domains
+// entirely.
+const GlobalDomain = -1
+
 // threadState is the lifecycle state of a simulated thread.
 type threadState int
 
@@ -121,10 +127,92 @@ type Thread struct {
 
 	blockReason string
 	err         error
+
+	// domain is the clock domain the thread belongs to (a node index for
+	// task threads, GlobalDomain for boot/setup threads). Only the parallel
+	// driver reads it: threads of different domains may run concurrently on
+	// host goroutines between cross-domain interaction points.
+	domain int
+	// local is true while the parallel driver is running this thread inside
+	// a domain-parallel phase: the thread holds its domain's token, not the
+	// global one, and must confine itself to domain-private state. Code
+	// reaching a cross-domain effect point calls CrossDomain, which parks
+	// the thread until the driver re-grants it the global token.
+	local bool
+	// parked is true between a CrossDomain call and the serial re-grant.
+	parked bool
+	// serialDepth counts open BeginSerial sections. While positive the
+	// thread must only ever be granted serially — a mid-section yield
+	// (quantum expiry, futex sleep) must not hand it back inside a later
+	// domain-parallel phase, because the rest of the section still touches
+	// cross-domain state.
+	serialDepth int
+	// segKey is the thread's clock at the moment its current run segment was
+	// granted. The sequential engine orders segments by (clock at grant, ID);
+	// the parallel driver serializes parked cross-domain continuations in
+	// exactly that key order, which is what makes the two drivers agree.
+	segKey Cycles
 }
 
 // Now returns the thread's local simulated time.
 func (t *Thread) Now() Cycles { return t.now }
+
+// Domain returns the thread's clock domain.
+func (t *Thread) Domain() int { return t.domain }
+
+// SetDomain assigns the thread to a clock domain. It must be called while
+// the engine is idle, from a serially-running thread (migration runs under
+// the global token), or on the thread itself — never from another domain's
+// parallel phase.
+func (t *Thread) SetDomain(d int) { t.domain = d }
+
+// InLocal reports whether the thread currently holds only its domain token
+// (parallel driver, domain-parallel phase). Code on the hot path uses it to
+// choose between the domain-confined fast path and a CrossDomain bailout.
+// Under the sequential driver it is always false.
+func (t *Thread) InLocal() bool { return t.local }
+
+// CrossDomain is the cross-domain effect point: a no-op under the
+// sequential driver (and for serially-granted threads), but under the
+// parallel driver's domain phase it parks the thread until the driver has
+// quiesced every domain and re-grants this thread the global execution
+// token, in segment-key order. After it returns the thread may touch any
+// simulated state until its next YieldPoint.
+//
+// Instrumented code must call it before mutating any shared state and
+// before charging any cycles for the operation that needs it, so the
+// operation re-executes from a clean slate under the global token.
+func (t *Thread) CrossDomain() {
+	if !t.local {
+		return
+	}
+	t.local = false
+	t.parked = true
+	t.yield <- struct{}{}
+	<-t.resume
+	t.parked = false
+}
+
+// BeginSerial opens a serial section: the thread parks out of any
+// domain-parallel phase immediately (CrossDomain) and, until the matching
+// EndSerial, the parallel driver will only ever grant it under the global
+// token — even across yields and blocks inside the section. Use it to
+// bracket whole operations on cross-domain state (a file syscall, a fault,
+// a migration); use bare CrossDomain only when every shared touch happens
+// before the next possible yield. Sections nest. Under the sequential
+// driver both calls are near-free no-ops.
+func (t *Thread) BeginSerial() {
+	t.serialDepth++
+	t.CrossDomain()
+}
+
+// EndSerial closes a BeginSerial section.
+func (t *Thread) EndSerial() {
+	if t.serialDepth == 0 {
+		panic(fmt.Sprintf("sim: thread %q EndSerial without BeginSerial", t.Name))
+	}
+	t.serialDepth--
+}
 
 // Advance consumes d cycles of simulated time on this thread. If the thread
 // has consumed more than the engine quantum since it last yielded, it hands
@@ -269,6 +357,7 @@ func (e *Engine) Spawn(name string, start Cycles, body func(t *Thread)) *Thread 
 		eng:    e,
 		state:  stateRunnable,
 		now:    start,
+		domain: GlobalDomain,
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
