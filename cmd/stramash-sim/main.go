@@ -10,7 +10,7 @@
 //	             [-bench IS|CG|MG|FT] [-class T|S|W]
 //	             [-l3 bytes] [-no-migrate]
 //	             [-trace out.json] [-trace-summary]
-//	             [-fileio]
+//	             [-fileio] [-cluster N] [-cluster-requests R]
 //
 // -trace records every simulated event (schedule, faults, coherence,
 // messaging) and writes a Chrome trace-event JSON loadable in Perfetto or
@@ -23,6 +23,11 @@
 // under both page-cache regimes — the fused shared cache and the
 // Popcorn-style per-kernel DSM cache — printing their cycle and
 // page-cache counters side by side.
+//
+// -cluster N boots N server machines plus a load-balancer machine on one
+// switch fabric and runs the open-loop socket redis benchmark under the
+// selected -os/-model personality, printing client latency percentiles,
+// per-server accounting, and each machine's NIC counters.
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print the per-class cycle-attribution report")
 	fileIO := flag.Bool("fileio", false, "run the cross-ISA shared-file workload under both page-cache regimes")
+	cluster := flag.Int("cluster", 0, "boot N server machines plus a load balancer and run the socket redis benchmark")
+	clusterReqs := flag.Int("cluster-requests", 200, "requests for the -cluster benchmark")
 	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
 	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	flag.Parse()
@@ -74,6 +81,12 @@ func main() {
 	fatal(err)
 	model, err := parseModel(*modelFlag)
 	fatal(err)
+
+	if *cluster > 0 {
+		fatal(runCluster(osKind, model, *cluster, *clusterReqs))
+		return
+	}
+
 	class, err := parseClass(*classFlag)
 	fatal(err)
 

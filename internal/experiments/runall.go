@@ -44,6 +44,7 @@ func Extra() []Spec {
 	return []Spec{
 		{"multicore", func(s Scale) (Result, error) { return Multicore(s) }},
 		{"filesys", func(s Scale) (Result, error) { return Filesys(s) }},
+		{"cluster", func(s Scale) (Result, error) { return Cluster(s) }},
 	}
 }
 

@@ -34,6 +34,16 @@ type Config struct {
 	// the platform (scheduler, caches, IPIs, and the software stacks built
 	// on top). nil disables tracing at zero cost.
 	Tracer trace.Tracer
+	// Engine, when non-nil, is the simulation engine the platform joins
+	// instead of creating its own. Cluster builds share one engine across
+	// every member machine so the whole fabric lives on a single
+	// deterministic timeline.
+	Engine *sim.Engine
+	// DomainBase offsets the clock domains of this platform's threads. A
+	// standalone machine uses 0 (domains = node IDs); machine i of a
+	// cluster uses 2i so the parallel driver keeps every machine's two
+	// nodes in distinct domains.
+	DomainBase int
 }
 
 // DefaultConfig returns the §9.2 evaluation platform for a memory model.
@@ -61,6 +71,9 @@ type Platform struct {
 	// Tracer mirrors Cfg.Tracer for cheap access from the software layers
 	// (kernel, popcorn, stramash, interconnect).
 	Tracer trace.Tracer
+	// DomainBase mirrors Cfg.DomainBase: the clock-domain offset every task
+	// thread of this platform adds to its node ID.
+	DomainBase int
 
 	ipiHandlers map[ipiKey]func(when sim.Cycles)
 	ipiCount    [2]int64
@@ -85,15 +98,22 @@ func NewPlatform(cfg Config) *Platform {
 	}
 	layout := mem.DefaultLayout(cfg.Model)
 	phys := mem.NewPhysical(layout)
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	p := &Platform{
 		Cfg:         cfg,
-		Engine:      sim.NewEngine(),
+		Engine:      eng,
 		Phys:        phys,
 		Caches:      cache.NewHierarchy(cfg.Cache, phys.Layout()),
 		Tracer:      cfg.Tracer,
+		DomainBase:  cfg.DomainBase,
 		ipiHandlers: make(map[ipiKey]func(when sim.Cycles)),
 	}
-	p.Engine.Tracer = cfg.Tracer
+	if cfg.Tracer != nil {
+		p.Engine.Tracer = cfg.Tracer
+	}
 	p.Caches.Tracer = cfg.Tracer
 	if cs, ok := cfg.Tracer.(trace.ClockSetter); ok {
 		cs.SetClockHz(cfg.ClockHz)

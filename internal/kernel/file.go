@@ -50,6 +50,20 @@ func (t *Task) FDs() *vfs.FDTable {
 	return t.fds
 }
 
+// fdFile resolves fd to a regular-file description, rejecting socket
+// descriptors: byte-stream verbs on a socket go through the Sock syscalls
+// (socket.go), never through the page cache.
+func (t *Task) fdFile(fd int) (*vfs.File, error) {
+	f, err := t.FDs().Get(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.Sock != nil {
+		return nil, fmt.Errorf("%w: fd %d is a socket", vfs.ErrInvalid, fd)
+	}
+	return f, nil
+}
+
 // OpenFile opens path; with vfs.OCreate it creates a missing file, and
 // with vfs.OTrunc|vfs.OWrite it drops existing contents.
 func (t *Task) OpenFile(path string, flags vfs.OpenFlags) (int, error) {
@@ -85,8 +99,13 @@ func (t *Task) CreateFile(path string) (int, error) {
 	return t.OpenFile(path, vfs.ORDWR|vfs.OCreate|vfs.OTrunc)
 }
 
-// CloseFile releases a descriptor.
+// CloseFile releases a descriptor. Socket descriptors are routed to the
+// transport close path (FIN + connection teardown), so close(2) works
+// uniformly across the table.
 func (t *Task) CloseFile(fd int) error {
+	if f, err := t.FDs().Get(fd); err == nil && f.Sock != nil {
+		return t.CloseSock(fd)
+	}
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
 	if _, err := t.enterFS(); err != nil {
@@ -126,7 +145,7 @@ func (t *Task) ReadFileAt(fd int, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return 0, err
 	}
@@ -146,7 +165,7 @@ func (t *Task) WriteFileAt(fd int, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return 0, err
 	}
@@ -164,7 +183,7 @@ func (t *Task) ReadFile(fd int, n int) ([]byte, error) {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
 	p := make([]byte, n)
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +197,7 @@ func (t *Task) ReadFile(fd int, n int) ([]byte, error) {
 func (t *Task) WriteFile(fd int, p []byte) (int, error) {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return 0, err
 	}
@@ -195,7 +214,7 @@ func (t *Task) WriteFile(fd int, p []byte) (int, error) {
 func (t *Task) SeekFile(fd int, off int64) error {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return err
 	}
@@ -213,7 +232,7 @@ func (t *Task) FileSize(fd int) (int64, error) {
 	if _, err := t.enterFS(); err != nil {
 		return 0, err
 	}
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return 0, err
 	}
@@ -230,7 +249,7 @@ func (t *Task) SyncFile(fd int) error {
 	if err != nil {
 		return err
 	}
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return err
 	}
@@ -247,7 +266,7 @@ func (t *Task) MmapFile(fd int, length uint64, flags VMAFlags, fileOff int64) (p
 	if _, err := t.enterFS(); err != nil {
 		return 0, err
 	}
-	f, err := t.FDs().Get(fd)
+	f, err := t.fdFile(fd)
 	if err != nil {
 		return 0, err
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/mem"
+	"repro/internal/net"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -127,6 +128,9 @@ type Context struct {
 	// VFS is the machine's mounted file system (nil until the machine
 	// builder mounts one; file syscalls fail cleanly without it).
 	VFS *vfs.Mount
+	// Net is the machine's transport endpoint on a cluster fabric (nil on
+	// standalone machines; socket syscalls fail cleanly without it).
+	Net *net.Stack
 
 	// fileMaps is the reverse map from file pages to task mappings, fed by
 	// FileFaultIn and consumed by FileInvalidateHook (file.go).

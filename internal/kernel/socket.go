@@ -1,0 +1,318 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// Socket syscall costs: trap/return overhead in cycles and kernel
+// instructions retired per syscall entry (the transport and NIC work is
+// charged separately through the port and the fabric).
+const (
+	sockSyscallCost   sim.Cycles = 120
+	kinstrSockSyscall            = 90
+)
+
+// sockFD is the kernel-side socket object a descriptor's Sock field points
+// at: either a connection endpoint or a listener, never both.
+type sockFD struct {
+	conn *net.Conn
+	ln   *net.Listener
+}
+
+// netStack returns the machine's transport endpoint on the cluster fabric.
+func (t *Task) netStack() (*net.Stack, error) {
+	if t.Ctx == nil || t.Ctx.Net == nil {
+		return nil, fmt.Errorf("kernel: no network stack attached")
+	}
+	return t.Ctx.Net, nil
+}
+
+// enterSock charges one socket-syscall entry and resolves the stack. The
+// stack is cluster-shared state (NIC rings, the switch, peer machines'
+// connection tables), so every socket syscall body runs inside a
+// BeginSerial section opened by its exported entry point.
+func (t *Task) enterSock() (*net.Stack, error) {
+	s, err := t.netStack()
+	if err != nil {
+		return nil, err
+	}
+	t.Th.Advance(sockSyscallCost)
+	t.Stats.NodeInstructions[t.Node] += kinstrSockSyscall
+	return s, nil
+}
+
+// fdSock resolves fd to a socket description, rejecting regular files.
+func (t *Task) fdSock(fd int) (*sockFD, error) {
+	f, err := t.FDs().Get(fd)
+	if err != nil {
+		return nil, err
+	}
+	sk, ok := f.Sock.(*sockFD)
+	if !ok {
+		return nil, fmt.Errorf("%w: fd %d is not a socket", vfs.ErrInvalid, fd)
+	}
+	return sk, nil
+}
+
+// sockConn resolves fd to a connection endpoint, rejecting listeners.
+func (t *Task) sockConn(fd int) (*net.Conn, error) {
+	sk, err := t.fdSock(fd)
+	if err != nil {
+		return nil, err
+	}
+	if sk.conn == nil {
+		return nil, fmt.Errorf("%w: fd %d is a listening socket", vfs.ErrInvalid, fd)
+	}
+	return sk.conn, nil
+}
+
+// sockWait blocks the task until cond holds, following the futex
+// discipline: poll, check, register, poll, re-check, sleep. The caller
+// holds the serial section; wakers (doorbell IPI handlers, other tasks'
+// PollRx) mutate transport state before Awaken, so the re-check after
+// every wake-up absorbs both spurious and consumed wakes.
+func (t *Task) sockWait(s *net.Stack, cond func() bool) {
+	for {
+		s.PollRx(t.Port)
+		if cond() {
+			return
+		}
+		s.AddWaiter(t)
+		s.PollRx(t.Port)
+		if cond() {
+			s.RemoveWaiter(t)
+			return
+		}
+		t.Sleep("sock-wait")
+		s.RemoveWaiter(t)
+	}
+}
+
+// SocketListen opens a passive listener on port and returns its
+// descriptor (socket+bind+listen collapsed: the simulated transport has no
+// unbound socket state worth modelling).
+func (t *Task) SocketListen(port uint16) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return -1, err
+	}
+	l, err := s.Listen(port)
+	if err != nil {
+		return -1, err
+	}
+	return t.FDs().Install(&vfs.File{Sock: &sockFD{ln: l}}), nil
+}
+
+// TrySocketAccept dequeues a handshake-complete connection from the
+// listener, returning (-1, nil) when none is pending.
+func (t *Task) TrySocketAccept(lfd int) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return -1, err
+	}
+	sk, err := t.fdSock(lfd)
+	if err != nil {
+		return -1, err
+	}
+	if sk.ln == nil {
+		return -1, fmt.Errorf("%w: fd %d is not listening", vfs.ErrInvalid, lfd)
+	}
+	s.PollRx(t.Port)
+	c := sk.ln.TryAccept()
+	if c == nil {
+		return -1, nil
+	}
+	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+}
+
+// SocketAccept blocks until a connection completes its handshake on the
+// listener and returns the new connection's descriptor.
+func (t *Task) SocketAccept(lfd int) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return -1, err
+	}
+	sk, err := t.fdSock(lfd)
+	if err != nil {
+		return -1, err
+	}
+	if sk.ln == nil {
+		return -1, fmt.Errorf("%w: fd %d is not listening", vfs.ErrInvalid, lfd)
+	}
+	var c *net.Conn
+	t.sockWait(s, func() bool {
+		c = sk.ln.TryAccept()
+		return c != nil
+	})
+	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+}
+
+// SocketConnect actively opens a connection to a remote machine's port,
+// blocking until the handshake completes.
+func (t *Task) SocketConnect(to net.Addr) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return -1, err
+	}
+	c := s.Dial(t.Port, to)
+	t.sockWait(s, func() bool { return c.State() != net.StateSynSent })
+	if c.State() != net.StateEstablished {
+		return -1, fmt.Errorf("kernel: connect to mach %d port %d failed (%v)",
+			to.Mach, to.Port, c.State())
+	}
+	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+}
+
+// SendSock writes all of p to the connection, blocking on flow-control
+// credit as needed. The RX ring is drained after every transmission burst
+// so piggybacked ACKs (and the peer's own data) are consumed even by a
+// task that only ever sends — the rule that keeps two mutually-flooding
+// endpoints from deadlocking on each other's closed windows.
+func (t *Task) SendSock(fd int, p []byte) (int, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return 0, err
+	}
+	c, err := t.sockConn(fd)
+	if err != nil {
+		return 0, err
+	}
+	start := t.Th.Now()
+	sent := 0
+	for sent < len(p) {
+		n := c.TrySend(t.Port, p[sent:])
+		sent += n
+		s.PollRx(t.Port)
+		if sent == len(p) {
+			break
+		}
+		if n == 0 {
+			if c.State() != net.StateEstablished {
+				return sent, fmt.Errorf("kernel: send on %v connection", c.State())
+			}
+			t.sockWait(s, func() bool {
+				return c.Credit() > 0 || c.State() != net.StateEstablished
+			})
+		}
+	}
+	t.Stats.SockSendBytes += int64(sent)
+	if tr := t.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindSockSend,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			Arg: int64(sent), Cost: int64(t.Th.Now() - start)})
+	}
+	return sent, nil
+}
+
+// RecvSock reads up to max bytes from the connection, blocking until data
+// arrives. io.EOF is returned once the peer has closed and every byte it
+// sent has been consumed.
+func (t *Task) RecvSock(fd int, max int) ([]byte, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.sockConn(fd)
+	if err != nil {
+		return nil, err
+	}
+	start := t.Th.Now()
+	t.sockWait(s, func() bool {
+		return c.Buffered() > 0 || c.EOF() || c.State() == net.StateClosed
+	})
+	if c.Buffered() == 0 {
+		return nil, io.EOF
+	}
+	out := c.TryRecv(t.Port, max)
+	t.Stats.SockRecvBytes += int64(len(out))
+	if tr := t.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindSockRecv,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			Arg: int64(len(out)), Cost: int64(t.Th.Now() - start)})
+	}
+	return out, nil
+}
+
+// TryRecvSock is the non-blocking read: it polls the NIC and returns
+// whatever is buffered (nil when nothing is), or io.EOF at end-of-stream.
+func (t *Task) TryRecvSock(fd int, max int) ([]byte, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.sockConn(fd)
+	if err != nil {
+		return nil, err
+	}
+	start := t.Th.Now()
+	s.PollRx(t.Port)
+	if c.Buffered() == 0 {
+		if c.EOF() || c.State() == net.StateClosed {
+			return nil, io.EOF
+		}
+		return nil, nil
+	}
+	out := c.TryRecv(t.Port, max)
+	t.Stats.SockRecvBytes += int64(len(out))
+	if tr := t.Ctx.Plat.Tracer; tr != nil {
+		tr.Emit(trace.Event{Cycle: int64(start), Kind: trace.KindSockRecv,
+			Node: int8(t.Node), Core: int16(t.Core), Tid: int32(t.Th.ID),
+			Arg: int64(len(out)), Cost: int64(t.Th.Now() - start)})
+	}
+	return out, nil
+}
+
+// CloseSock releases a socket descriptor: listeners are unregistered,
+// connections send FIN. CloseFile routes socket descriptors here, so
+// close(2) stays uniform across the table.
+func (t *Task) CloseSock(fd int) error {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	s, err := t.enterSock()
+	if err != nil {
+		return err
+	}
+	sk, err := t.fdSock(fd)
+	if err != nil {
+		return err
+	}
+	if sk.ln != nil {
+		sk.ln.Close()
+	}
+	if sk.conn != nil {
+		sk.conn.Close(t.Port)
+		// Drain frames already queued: the peer's FIN may be waiting, and
+		// consuming it here lets a symmetric close tear down promptly.
+		s.PollRx(t.Port)
+	}
+	return t.FDs().Close(fd)
+}
+
+// SockState returns the connection state behind fd (diagnostics/tests).
+func (t *Task) SockState(fd int) (net.ConnState, error) {
+	c, err := t.sockConn(fd)
+	if err != nil {
+		return 0, err
+	}
+	return c.State(), nil
+}

@@ -31,6 +31,10 @@ type TaskStats struct {
 	FileReadBytes  int64
 	FileWriteBytes int64
 
+	// Socket I/O volume through the send/recv syscalls (bytes).
+	SockSendBytes int64
+	SockRecvBytes int64
+
 	// Per-node attribution, the data the perf+icount tool reads (§7.3):
 	// retired instructions (compute + memory ops) and residency cycles on
 	// each ISA.
@@ -120,6 +124,8 @@ func (t *Task) TimedStats() TaskStats {
 	d.MemAccessCycles -= t.statsBase.MemAccessCycles
 	d.FileReadBytes -= t.statsBase.FileReadBytes
 	d.FileWriteBytes -= t.statsBase.FileWriteBytes
+	d.SockSendBytes -= t.statsBase.SockSendBytes
+	d.SockRecvBytes -= t.statsBase.SockRecvBytes
 	for n := 0; n < 2; n++ {
 		d.NodeInstructions[n] -= t.statsBase.NodeInstructions[n]
 		d.NodeCycles[n] -= t.statsBase.NodeCycles[n]
@@ -511,7 +517,7 @@ func (t *Task) Rebind(node mem.NodeID) {
 	// for threads the machine placed in a node domain; boot/setup threads
 	// stay global (they touch state on both nodes without instrumentation).
 	if t.Th.Domain() != sim.GlobalDomain {
-		t.Th.SetDomain(int(node))
+		t.Th.SetDomain(t.Ctx.Plat.DomainBase + int(node))
 	}
 	if t.Sched != nil {
 		t.Sched.migrated(t)

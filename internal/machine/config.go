@@ -123,6 +123,19 @@ func (c *Config) Validate() error {
 	if c.EpochCycles < 0 {
 		return &ConfigError{Field: "EpochCycles", Value: c.EpochCycles, Reason: "must not be negative"}
 	}
+	if c.Fabric != nil && c.SharedEngine == nil {
+		return &ConfigError{Field: "Fabric", Value: "non-nil",
+			Reason: "cluster machines need a SharedEngine (one clock universe per fabric)"}
+	}
+	if c.MachID < 0 {
+		return &ConfigError{Field: "MachID", Value: c.MachID, Reason: "must not be negative"}
+	}
+	if c.DomainBase < 0 {
+		return &ConfigError{Field: "DomainBase", Value: c.DomainBase, Reason: "must not be negative"}
+	}
+	if c.NIC.Slots < 0 || c.NIC.SlotSize < 0 {
+		return &ConfigError{Field: "NIC", Value: c.NIC, Reason: "ring geometry must not be negative"}
+	}
 	for n := 0; n < 2; n++ {
 		if c.CPI[n] < 0 {
 			return &ConfigError{Field: "CPI", Value: c.CPI[n], Reason: "must not be negative"}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/net"
 	"repro/internal/pgtable"
 	"repro/internal/popcorn"
 	"repro/internal/sim"
@@ -115,6 +116,24 @@ type Config struct {
 	// cycles (zero selects DefaultEpoch). Shorter epochs synchronize the
 	// node domains more often; the choice never changes results.
 	EpochCycles sim.Cycles
+	// Fabric, when non-nil, attaches the machine to a cluster switch: a
+	// NIC and a transport stack are built at boot and the socket syscalls
+	// become operational. Requires SharedEngine — every machine of one
+	// cluster must live in the same simulated clock universe.
+	Fabric *net.Fabric
+	// MachID is the machine's index on the fabric (its switch port and
+	// transport address). Ignored without Fabric.
+	MachID int
+	// SharedEngine, when non-nil, makes the platform join an existing
+	// simulation engine instead of creating its own. NewCluster assigns
+	// one engine to all of its machines.
+	SharedEngine *sim.Engine
+	// DomainBase offsets the machine's two per-node clock domains so they
+	// stay disjoint across cluster machines (machine i uses 2i).
+	DomainBase int
+	// NIC overrides the NIC ring geometry (zero selects
+	// net.DefaultNICConfig). Ignored without Fabric.
+	NIC net.NICConfig
 }
 
 // reservedLow is the per-node reservation for kernel image, memmap, and
@@ -138,8 +157,15 @@ type Machine struct {
 	// Sched is the kernel CPU scheduler every task created by RunTasks
 	// attaches to: per-core run queues over both nodes' cores.
 	Sched *kernel.Scheduler
+	// NIC and Net are the machine's network interface and transport stack,
+	// nil unless the config attached the machine to a cluster fabric.
+	NIC *net.NIC
+	Net *net.Stack
 
 	procs map[string]*kernel.Process
+	// vfsPoolCarved records that mountVFS placed the fused frame pool in
+	// reserved memory, which shifts where the NIC rings go.
+	vfsPoolCarved bool
 }
 
 // New builds and boots a machine.
@@ -177,6 +203,8 @@ func New(cfg Config) (*Machine, error) {
 		hwCfg.ClockHz = cfg.ClockHz
 	}
 	hwCfg.Tracer = cfg.Tracer
+	hwCfg.Engine = cfg.SharedEngine
+	hwCfg.DomainBase = cfg.DomainBase
 	plat := hw.NewPlatform(hwCfg)
 
 	m := &Machine{Cfg: cfg, Plat: plat, procs: make(map[string]*kernel.Process)}
@@ -222,6 +250,9 @@ func New(cfg Config) (*Machine, error) {
 			return
 		}
 		bootErr = m.mountVFS(ctx)
+		if bootErr == nil && cfg.Fabric != nil {
+			m.attachNIC(ctx, pt)
+		}
 	})
 	if err := m.runEngine(); err != nil {
 		return nil, err
@@ -277,6 +308,7 @@ func (m *Machine) mountVFS(ctx *kernel.Context) error {
 		// on shared blocks only being onlined under memory pressure).
 		vcfg.PoolBase = ctrl + mem.PageSize
 		vcfg.PoolSize = vfsPoolSize
+		m.vfsPoolCarved = true
 	}
 	mnt, err := vfs.NewMount(vcfg)
 	if err != nil {
@@ -285,6 +317,22 @@ func (m *Machine) mountVFS(ctx *kernel.Context) error {
 	mnt.Cache.SetInvalidateHook(ctx.FileInvalidateHook)
 	ctx.VFS = mnt
 	return nil
+}
+
+// attachNIC builds the machine's NIC and transport stack and joins the
+// cluster fabric. The rings live in reserved memory right after the VFS
+// control page (and frame pool, when one was carved), outside the buddy
+// allocators for the same reason the control page is: machines that never
+// touch the network must behave cycle-for-cycle as if the NIC were absent.
+func (m *Machine) attachNIC(ctx *kernel.Context, pt *hw.Port) {
+	base := m.msgAreaBase() + msgAreaSize + mem.PageSize
+	if m.vfsPoolCarved {
+		base += vfsPoolSize
+	}
+	m.NIC = net.NewNIC(pt, m.Cfg.MachID, base, m.Cfg.NIC)
+	m.Cfg.Fabric.Attach(m.NIC)
+	m.Net = net.NewStack(m.NIC, m.Cfg.Fabric, 0)
+	ctx.Net = m.Net
 }
 
 // runEngine drives the machine's engine to completion with the configured
@@ -362,22 +410,22 @@ type Result struct {
 // Elapsed returns the task's simulated duration in cycles.
 func (r Result) Elapsed() sim.Cycles { return r.End - r.Start }
 
-// RunTasks creates the tasks' processes, runs all task bodies to
-// completion under the simulation engine, and returns per-task results in
-// spec order.
-func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
+// checkSpecs validates task placement against the machine's core counts.
+func (m *Machine) checkSpecs(specs []TaskSpec) error {
 	for _, s := range specs {
 		if s.Core < 0 || s.Core >= m.Sched.Cores(s.Origin) {
-			return nil, fmt.Errorf("machine: task %q placed on %v core %d (node has %d cores)",
+			return fmt.Errorf("machine: task %q placed on %v core %d (node has %d cores)",
 				s.Name, s.Origin, s.Core, m.Sched.Cores(s.Origin))
 		}
 	}
+	return nil
+}
 
-	// Phase 1: create processes in a setup thread. Process creation runs on
-	// the origin node's CPU 0 — an Arm-origin process is set up by the Arm
-	// kernel through Arm caches, not by the x86 boot CPU.
-	var setupErr error
-	procFor := make([]*kernel.Process, len(specs))
+// spawnSetup spawns the process-creation thread for specs; procFor and
+// errp are filled when the engine runs it. Process creation runs on the
+// origin node's CPU 0 — an Arm-origin process is set up by the Arm kernel
+// through Arm caches, not by the x86 boot CPU.
+func (m *Machine) spawnSetup(specs []TaskSpec, procFor []*kernel.Process, errp *error) {
 	m.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
 		var ports [2]*hw.Port
 		for i, s := range specs {
@@ -392,7 +440,7 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 			}
 			p, err := m.OS.CreateProcess(ports[s.Origin], s.Origin)
 			if err != nil {
-				setupErr = err
+				*errp = err
 				return
 			}
 			procFor[i] = p
@@ -401,6 +449,42 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 			}
 		}
 	})
+}
+
+// spawnTask spawns one task thread, filling res when the engine runs it.
+func (m *Machine) spawnTask(s TaskSpec, proc *kernel.Process, res *Result) {
+	th := m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
+		t := kernel.NewTaskOn(s.Name, proc, m.OS, m.Ctx, th, s.Core)
+		res.Name = s.Name
+		res.Start = s.Start
+		res.Task = t
+		m.Sched.Attach(t)
+		err := s.Body(t)
+		if err == nil && !s.KeepAlive {
+			err = t.Exit()
+		}
+		m.Sched.Detach(t)
+		res.Err = err
+		res.End = th.Now()
+	})
+	// Task threads live in their origin node's clock domain (offset by the
+	// machine's domain base in a cluster); migration rebinds the domain as
+	// it rebinds the port.
+	th.SetDomain(m.Plat.DomainBase + int(s.Origin))
+}
+
+// RunTasks creates the tasks' processes, runs all task bodies to
+// completion under the simulation engine, and returns per-task results in
+// spec order.
+func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
+	if err := m.checkSpecs(specs); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: create processes in a setup thread.
+	var setupErr error
+	procFor := make([]*kernel.Process, len(specs))
+	m.spawnSetup(specs, procFor, &setupErr)
 	if err := m.runEngine(); err != nil {
 		return nil, err
 	}
@@ -410,26 +494,8 @@ func (m *Machine) RunTasks(specs ...TaskSpec) ([]Result, error) {
 
 	// Phase 2: run the tasks.
 	results := make([]Result, len(specs))
-	for i, s := range specs {
-		i, s := i, s
-		proc := procFor[i]
-		th := m.Plat.Engine.Spawn(s.Name, s.Start, func(th *sim.Thread) {
-			t := kernel.NewTaskOn(s.Name, proc, m.OS, m.Ctx, th, s.Core)
-			results[i].Name = s.Name
-			results[i].Start = s.Start
-			results[i].Task = t
-			m.Sched.Attach(t)
-			err := s.Body(t)
-			if err == nil && !s.KeepAlive {
-				err = t.Exit()
-			}
-			m.Sched.Detach(t)
-			results[i].Err = err
-			results[i].End = th.Now()
-		})
-		// Task threads live in their origin node's clock domain; migration
-		// rebinds the domain as it rebinds the port.
-		th.SetDomain(int(s.Origin))
+	for i := range specs {
+		m.spawnTask(specs[i], procFor[i], &results[i])
 	}
 	if err := m.runEngine(); err != nil {
 		return results, err
@@ -491,3 +557,11 @@ func (m *Machine) FileStats() vfs.Stats {
 
 // VFS returns the mounted filesystem for direct inspection in tests.
 func (m *Machine) VFS() *vfs.Mount { return m.Ctx.VFS }
+
+// NICStats returns the machine's NIC counters (zero when not clustered).
+func (m *Machine) NICStats() net.NICStats {
+	if m.NIC == nil {
+		return net.NICStats{}
+	}
+	return m.NIC.Stats
+}

@@ -1,0 +1,40 @@
+package net
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzNetFrame drives the transport frame codec with arbitrary wire bytes
+// (mirroring FuzzRingBuffer's role for the interconnect). Two oracles:
+//
+//   - Garbage safety: DecodeFrame must return an error — never panic, never
+//     a frame — for any input that is not an exact encoding.
+//   - Round trip: any input DecodeFrame accepts must re-encode to the exact
+//     same bytes, and any frame built from fuzzed fields must survive
+//     Encode -> Decode unchanged.
+func FuzzNetFrame(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(EncodeFrame(fr))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return // rejected garbage: exactly what the oracle wants
+		}
+		re := EncodeFrame(fr)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode->encode not identity:\n in  %x\n out %x", data, re)
+		}
+		fr2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr2, fr) {
+			t.Fatalf("field round trip mismatch:\n got %+v\nwant %+v", fr2, fr)
+		}
+	})
+}

@@ -182,6 +182,12 @@ func Run(m *machine.Machine, p BenchParams) (BenchResult, error) {
 			cmd := Command(hdr[0])
 			klen := int(binary.LittleEndian.Uint32(hdr[1:5]))
 			vlen := int(binary.LittleEndian.Uint32(hdr[5:9]))
+			// A corrupt header must not drive ReadBytes past the slot: the
+			// lengths are attacker-controlled wire input in a real server.
+			if klen <= 0 || vlen < 0 || klen+vlen > slotSize-reqHdr {
+				return fmt.Errorf("redisapp: corrupt request header (klen=%d vlen=%d, slot payload max %d)",
+					klen, vlen, slotSize-reqHdr)
+			}
 			key, err := t.ReadBytes(slot+reqHdr, klen)
 			if err != nil {
 				return err

@@ -95,6 +95,16 @@ const (
 	KindPageCacheWriteback  // dirty file page flushed to its home replica
 	KindPageCacheInvalidate // a node's cached copy of a file page was discarded
 
+	// Network events (internal/net, kernel socket syscalls): simulated NICs
+	// on the multi-machine fabric and the TCP-lite transport above them.
+	// Node identifies the node within the emitting machine; Arg carries the
+	// machine index for fabric-level events so cluster traces stay
+	// attributable.
+	KindNICDoorbell   // task rang the NIC TX doorbell (Arg = machine, Cost = frame bytes)
+	KindNetRetransmit // frame retransmitted after a full RX ring (Arg = dest machine)
+	KindSockSend      // socket send syscall completed (Arg = payload bytes)
+	KindSockRecv      // socket recv syscall returned data (Arg = payload bytes)
+
 	numKinds
 )
 
@@ -140,6 +150,11 @@ var kindNames = [numKinds]string{
 	KindPageCacheMiss:       "page-cache-miss",
 	KindPageCacheWriteback:  "page-cache-writeback",
 	KindPageCacheInvalidate: "page-cache-invalidate",
+
+	KindNICDoorbell:   "nic-doorbell",
+	KindNetRetransmit: "net-retransmit",
+	KindSockSend:      "sock-send",
+	KindSockRecv:      "sock-recv",
 }
 
 func (k Kind) String() string {

@@ -22,11 +22,14 @@ const (
 const ORDWR = ORead | OWrite
 
 // File is one open-file description: an inode reference, the access mode,
-// and a file offset shared by Read/Write.
+// and a file offset shared by Read/Write. Socket descriptors live in the
+// same table: they carry a kernel-side socket object in Sock instead of an
+// inode (vfs stays transport-agnostic, so the field is opaque here).
 type File struct {
 	Ino   *Inode
 	Flags OpenFlags
 	Off   int64
+	Sock  any
 }
 
 // FDTable is a task's descriptor table. Descriptors are small integers;

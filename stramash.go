@@ -36,6 +36,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/net"
 	"repro/internal/npb"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
@@ -171,6 +172,37 @@ const (
 	// OAppend positions sequential writes at the end.
 	OAppend = vfs.OAppend
 )
+
+// Clusters. Several machines join one deterministically-arbitrated switch
+// and one clock universe; kernel socket syscalls (Task.SocketListen,
+// SocketConnect, SendSock, RecvSock, ...) carry byte streams between them
+// through simulated NIC descriptor rings and a TCP-lite transport.
+type (
+	// Cluster is a set of machines joined by one switch fabric.
+	Cluster = machine.Cluster
+	// ClusterTask places one TaskSpec on one cluster machine.
+	ClusterTask = machine.ClusterTask
+	// FabricConfig parameterizes the cluster switch (latency, bandwidth,
+	// retransmit backoff).
+	FabricConfig = net.FabricConfig
+	// NICConfig sizes a machine's NIC descriptor rings
+	// (MachineConfig.NIC).
+	NICConfig = net.NICConfig
+	// NICStats are one machine's device counters (Cluster.NICStats).
+	NICStats = net.NICStats
+	// NetAddr addresses a socket endpoint: (machine index, port).
+	NetAddr = net.Addr
+)
+
+// NewCluster builds and boots the given machines on one shared simulation
+// engine, attaching one NIC per machine to a fresh switch fabric. Machine
+// i of the returned cluster is addressable as NetAddr{Mach: i}.
+func NewCluster(cfgs []MachineConfig, fcfg FabricConfig) (*Cluster, error) {
+	return machine.NewCluster(cfgs, fcfg)
+}
+
+// DefaultFabricConfig returns the evaluation switch parameters.
+func DefaultFabricConfig() FabricConfig { return net.DefaultFabricConfig() }
 
 // Workloads.
 type (
