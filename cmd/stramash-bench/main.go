@@ -22,6 +22,9 @@
 // simulated cycle counts and counters (deterministic across runs), the
 // host wall time, and any shape deviations or errors. Exit codes: 0 all
 // shape claims reproduced, 1 an experiment failed, 3 shape deviations.
+// -engine-stats adds the simulation driver's own counters (segment kinds,
+// phase widths, parks) to the JSON for experiments that export them; these
+// are deterministic per driver but differ between -engine=seq and par.
 //
 // Experiment ids: table2, fig5-6-small, fig5-6-big, fig7-small, fig7-big,
 // fig8, table3, table4, fig9, fig10, fig11, fig12, fig13, fig14,
@@ -56,6 +59,7 @@ func main() {
 	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
 	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	hostprocs := flag.Int("hostprocs", 0, "concurrent machine runs within pooled experiments (0 = leave at 1)")
+	engineStats := flag.Bool("engine-stats", false, "capture per-run engine driver counters into the -json report (driver-dependent; experiments that support it)")
 	flag.Parse()
 
 	eng, err := machine.ParseEngine(*engineFlag)
@@ -72,6 +76,7 @@ func main() {
 	if *hostprocs > 0 {
 		experiments.HostProcs = *hostprocs
 	}
+	experiments.CollectEngineStats = *engineStats
 
 	if *list {
 		for _, s := range experiments.All() {

@@ -41,6 +41,10 @@ type ClusterRow struct {
 	PerServer []redisapp.NetServerStats
 	// NIC holds every machine's device counters, generator first.
 	NIC []net.NICStats
+	// Engine holds the shared engine's driver counters for this cell, when
+	// CollectEngineStats was set. Driver-dependent: never rendered, never
+	// in Metrics — exported only through EngineStats (-engine-stats JSON).
+	Engine map[string]int64
 }
 
 // ClusterResult is the experiment output.
@@ -115,6 +119,9 @@ func clusterRun(os machine.OSKind, model mem.Model, servers int, p redisapp.Traf
 	row := ClusterRow{OS: os, Servers: servers, Traffic: r.Traffic, PerServer: r.PerServer}
 	for m := range cl.Machines {
 		row.NIC = append(row.NIC, cl.NICStats(m))
+	}
+	if CollectEngineStats {
+		row.Engine = cl.EngineStats().Map()
 	}
 	return row, nil
 }
@@ -271,5 +278,26 @@ func (r *ClusterResult) Metrics() map[string]int64 {
 	return m
 }
 
+// EngineStats implements EngineStatsSource: per-cell driver counters
+// (segment kinds, phase widths, parks) keyed like Metrics. Nil unless the
+// run captured them (CollectEngineStats).
+func (r *ClusterResult) EngineStats() map[string]int64 {
+	var m map[string]int64
+	for _, row := range r.Rows {
+		if row.Engine == nil {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		base := fmt.Sprintf("%s/%dsrv", row.OS, row.Servers)
+		for k, v := range row.Engine {
+			m[k+"/"+base] = v
+		}
+	}
+	return m
+}
+
 // assert ClusterResult exports metrics like the other extras.
 var _ CycleMetrics = (*ClusterResult)(nil)
+var _ EngineStatsSource = (*ClusterResult)(nil)

@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/net"
+	"repro/internal/redisapp"
 	"repro/internal/sim"
 )
 
@@ -185,6 +188,88 @@ func TestEngineHostPoolRows(t *testing.T) {
 			}
 		})
 	}
+}
+
+// tinyCluster runs a small ClusterBench topology under one explicit engine
+// choice (set per-Config, so no process-global knob is touched) and returns
+// a fingerprint of everything determinism must pin: the full traffic
+// measurement (digest, latencies, elapsed), every server's accounting, and
+// every machine's NIC counters.
+func tinyCluster(t testing.TB, engine machine.EngineKind, epoch sim.Cycles,
+	servers, requests int, seed uint64) string {
+	cfgs := make([]machine.Config, servers+1)
+	for i := range cfgs {
+		cfgs[i] = machine.Config{Model: mem.Shared, OS: machine.StramashOS,
+			Engine: engine, EpochCycles: epoch}
+	}
+	cl, err := machine.NewCluster(cfgs, net.DefaultFabricConfig())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	r, err := redisapp.ClusterBench(cl, redisapp.TrafficParams{
+		Requests: requests, Clients: 8, PayloadBytes: 96, Keys: 8,
+		ZipfS: 1.0, InterArrival: 700, SetEvery: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("ClusterBench(%d servers, %d requests): %v", servers, requests, err)
+	}
+	fp := fmt.Sprintf("traffic=%+v per=%+v", r.Traffic, r.PerServer)
+	for m := range cl.Machines {
+		fp += fmt.Sprintf(" nic%d=%+v", m, cl.NICStats(m))
+	}
+	return fp
+}
+
+// TestClusterEngineEpochSweep is the cluster arm of the differential
+// battery: a two-machine ClusterBench (claimed stacks, domain-phase socket
+// fast paths) must match the sequential oracle at every epoch length —
+// including the degenerate 1-cycle epoch, which forces a barrier at every
+// horizon and so exercises maximal phase/serial interleaving — and at host
+// parallelism 1, 2 and 8.
+func TestClusterEngineEpochSweep(t *testing.T) {
+	const servers, requests, seed = 1, 10, 7
+	want := tinyCluster(t, machine.EngineSeq, 0, servers, requests, seed)
+	epochs := []sim.Cycles{1, 64, 2048, sim.DefaultEpoch}
+	if testing.Short() {
+		epochs = []sim.Cycles{1, sim.DefaultEpoch}
+	}
+	for _, epoch := range epochs {
+		if got := tinyCluster(t, machine.EnginePar, epoch, servers, requests, seed); got != want {
+			t.Errorf("epoch=%d: cluster diverged from sequential oracle\nseq: %s\npar: %s",
+				epoch, want, got)
+		}
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := tinyCluster(t, machine.EnginePar, 0, servers, requests, seed); got != want {
+			t.Errorf("GOMAXPROCS=%d: cluster diverged from sequential oracle", procs)
+		}
+	}
+}
+
+// FuzzClusterEpochSchedule fuzzes the cluster schedule space: random small
+// topologies (1-3 servers), request counts, seeds and epoch lengths, each
+// compared against the sequential oracle for the same topology. Any
+// ordering hole the narrowed serial sections open — a socket fast path
+// observing a frame earlier or later than the sequential schedule would —
+// shows up as a fingerprint mismatch.
+func FuzzClusterEpochSchedule(f *testing.F) {
+	f.Add(uint8(1), uint8(6), uint32(1), uint64(7))
+	f.Add(uint8(2), uint8(9), uint32(900), uint64(3))
+	f.Add(uint8(3), uint8(12), uint32(20000), uint64(11))
+	f.Fuzz(func(t *testing.T, servers, requests uint8, epoch uint32, seed uint64) {
+		nS := 1 + int(servers)%3
+		// Every server must have a share: ClusterBench rejects shapes where
+		// a zero-expectation server would strand the generator's handshake.
+		nR := nS + int(requests)%12
+		ep := sim.Cycles(epoch % 200_000)
+		want := tinyCluster(t, machine.EngineSeq, 0, nS, nR, seed)
+		if got := tinyCluster(t, machine.EnginePar, ep, nS, nR, seed); got != want {
+			t.Errorf("servers=%d requests=%d epoch=%d seed=%d: par diverged\nseq: %s\npar: %s",
+				nS, nR, ep, seed, want, got)
+		}
+	})
 }
 
 // TestEngineTracedRunsFallBack: a machine built with a tracer must behave

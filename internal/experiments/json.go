@@ -15,6 +15,21 @@ type CycleMetrics interface {
 	Metrics() map[string]int64
 }
 
+// EngineStatsSource is optionally implemented by experiment results that
+// can export the simulation driver's own counters (serial vs. domain
+// segments, phase widths, parks). Unlike Metrics these describe the
+// driver, not the simulation: they are deterministic for a fixed driver
+// but legitimately differ between -engine=seq and -engine=par, so they
+// are captured only when CollectEngineStats is set and are kept out of
+// Metrics and the rendered report, which must be engine-independent.
+type EngineStatsSource interface {
+	EngineStats() map[string]int64
+}
+
+// CollectEngineStats makes experiments that support it capture per-run
+// engine driver counters (stramash-bench -engine-stats).
+var CollectEngineStats = false
+
 // JSONOutcome is one experiment's record in the -json report.
 type JSONOutcome struct {
 	ID   string `json:"id"`
@@ -28,6 +43,9 @@ type JSONOutcome struct {
 	// Metrics holds the experiment's simulated cycle counts and counters
 	// when the result type exports them (CycleMetrics).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// EngineStats holds driver counters when -engine-stats is set and the
+	// result exports them (EngineStatsSource). Driver-dependent by design.
+	EngineStats map[string]int64 `json:"engine_stats,omitempty"`
 }
 
 // JSONSummary mirrors Summary in JSON form.
@@ -82,6 +100,9 @@ func BuildJSONReport(scale Scale, outcomes []Outcome, wall time.Duration) JSONRe
 			jo.Name = o.Result.Name()
 			if cm, ok := o.Result.(CycleMetrics); ok {
 				jo.Metrics = cm.Metrics()
+			}
+			if es, ok := o.Result.(EngineStatsSource); ok {
+				jo.EngineStats = es.EngineStats()
 			}
 		}
 		rep.Experiments = append(rep.Experiments, jo)

@@ -33,22 +33,31 @@ func (t *Task) netStack() (*net.Stack, error) {
 	return t.Ctx.Net, nil
 }
 
-// enterSock charges one socket-syscall entry and resolves the stack. The
-// stack is cluster-shared state (NIC rings, the switch, peer machines'
-// connection tables), so every socket syscall body runs inside a
-// BeginSerial section opened by its exported entry point.
-func (t *Task) enterSock() (*net.Stack, error) {
+// enterSock charges one socket-syscall entry, resolves the stack, and takes
+// the stack lock for the syscall body; the caller defers the returned end
+// function. For an unclaimed (shared) stack the lock is a serial section —
+// the whole body runs under the global token, exactly the pre-claim regime.
+// For a stack the calling thread has claimed, the lock is free and the body
+// runs in the domain phase; the serial carve-outs inside it (NIC rings, the
+// waiters list, the scheduler, the FD table) open their own narrow sections.
+func (t *Task) enterSock() (*net.Stack, func(), error) {
 	s, err := t.netStack()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	end := s.Lock(t.Th)
 	t.Th.Advance(sockSyscallCost)
 	t.Stats.NodeInstructions[t.Node] += kinstrSockSyscall
-	return s, nil
+	return s, end, nil
 }
 
-// fdSock resolves fd to a socket description, rejecting regular files.
+// fdSock resolves fd to a socket description, rejecting regular files. The
+// descriptor table is process-wide state shared by sibling tasks on any
+// node, so table lookups take the global token even when the stack itself
+// is claimed.
 func (t *Task) fdSock(fd int) (*sockFD, error) {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	f, err := t.FDs().Get(fd)
 	if err != nil {
 		return nil, err
@@ -58,6 +67,14 @@ func (t *Task) fdSock(fd int) (*sockFD, error) {
 		return nil, fmt.Errorf("%w: fd %d is not a socket", vfs.ErrInvalid, fd)
 	}
 	return sk, nil
+}
+
+// installSock installs a socket descriptor under the global token (the FD
+// table is shared process state; Install may grow the backing slice).
+func (t *Task) installSock(sk *sockFD) int {
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
+	return t.FDs().Install(&vfs.File{Sock: sk})
 }
 
 // sockConn resolves fd to a connection endpoint, rejecting listeners.
@@ -73,24 +90,38 @@ func (t *Task) sockConn(fd int) (*net.Conn, error) {
 }
 
 // sockWait blocks the task until cond holds, following the futex
-// discipline: poll, check, register, poll, re-check, sleep. The caller
-// holds the serial section; wakers (doorbell IPI handlers, other tasks'
-// PollRx) mutate transport state before Awaken, so the re-check after
-// every wake-up absorbs both spurious and consumed wakes.
+// discipline: poll, check, register, poll, re-check, sleep. Wakers
+// (doorbell IPI handlers, other tasks' PollRx) mutate transport state
+// before Awaken, so the re-check after every wake-up absorbs both spurious
+// and consumed wakes.
+//
+// cond reads connection state, which the caller's stack lock covers; the
+// waiters list and the scheduler are cross-machine state (remote doorbell
+// handlers walk the list, Awaken crosses machines), so each registration
+// and the sleep take the global token explicitly. Sleep and the trailing
+// RemoveWaiter share one bracket: the woken thread then still holds
+// serialDepth > 0 when it resumes, so the deregistration is granted
+// serially before any domain runs past it.
 func (t *Task) sockWait(s *net.Stack, cond func() bool) {
 	for {
 		s.PollRx(t.Port)
 		if cond() {
 			return
 		}
+		t.Th.BeginSerial()
 		s.AddWaiter(t)
+		t.Th.EndSerial()
 		s.PollRx(t.Port)
 		if cond() {
+			t.Th.BeginSerial()
 			s.RemoveWaiter(t)
+			t.Th.EndSerial()
 			return
 		}
+		t.Th.BeginSerial()
 		t.Sleep("sock-wait")
 		s.RemoveWaiter(t)
+		t.Th.EndSerial()
 	}
 }
 
@@ -98,28 +129,26 @@ func (t *Task) sockWait(s *net.Stack, cond func() bool) {
 // descriptor (socket+bind+listen collapsed: the simulated transport has no
 // unbound socket state worth modelling).
 func (t *Task) SocketListen(port uint16) (int, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return -1, err
 	}
+	defer end()
 	l, err := s.Listen(port)
 	if err != nil {
 		return -1, err
 	}
-	return t.FDs().Install(&vfs.File{Sock: &sockFD{ln: l}}), nil
+	return t.installSock(&sockFD{ln: l}), nil
 }
 
 // TrySocketAccept dequeues a handshake-complete connection from the
 // listener, returning (-1, nil) when none is pending.
 func (t *Task) TrySocketAccept(lfd int) (int, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return -1, err
 	}
+	defer end()
 	sk, err := t.fdSock(lfd)
 	if err != nil {
 		return -1, err
@@ -132,18 +161,17 @@ func (t *Task) TrySocketAccept(lfd int) (int, error) {
 	if c == nil {
 		return -1, nil
 	}
-	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+	return t.installSock(&sockFD{conn: c}), nil
 }
 
 // SocketAccept blocks until a connection completes its handshake on the
 // listener and returns the new connection's descriptor.
 func (t *Task) SocketAccept(lfd int) (int, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return -1, err
 	}
+	defer end()
 	sk, err := t.fdSock(lfd)
 	if err != nil {
 		return -1, err
@@ -156,25 +184,24 @@ func (t *Task) SocketAccept(lfd int) (int, error) {
 		c = sk.ln.TryAccept()
 		return c != nil
 	})
-	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+	return t.installSock(&sockFD{conn: c}), nil
 }
 
 // SocketConnect actively opens a connection to a remote machine's port,
 // blocking until the handshake completes.
 func (t *Task) SocketConnect(to net.Addr) (int, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return -1, err
 	}
+	defer end()
 	c := s.Dial(t.Port, to)
 	t.sockWait(s, func() bool { return c.State() != net.StateSynSent })
 	if c.State() != net.StateEstablished {
 		return -1, fmt.Errorf("kernel: connect to mach %d port %d failed (%v)",
 			to.Mach, to.Port, c.State())
 	}
-	return t.FDs().Install(&vfs.File{Sock: &sockFD{conn: c}}), nil
+	return t.installSock(&sockFD{conn: c}), nil
 }
 
 // SendSock writes all of p to the connection, blocking on flow-control
@@ -183,12 +210,11 @@ func (t *Task) SocketConnect(to net.Addr) (int, error) {
 // task that only ever sends — the rule that keeps two mutually-flooding
 // endpoints from deadlocking on each other's closed windows.
 func (t *Task) SendSock(fd int, p []byte) (int, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return 0, err
 	}
+	defer end()
 	c, err := t.sockConn(fd)
 	if err != nil {
 		return 0, err
@@ -224,12 +250,11 @@ func (t *Task) SendSock(fd int, p []byte) (int, error) {
 // arrives. io.EOF is returned once the peer has closed and every byte it
 // sent has been consumed.
 func (t *Task) RecvSock(fd int, max int) ([]byte, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return nil, err
 	}
+	defer end()
 	c, err := t.sockConn(fd)
 	if err != nil {
 		return nil, err
@@ -254,12 +279,11 @@ func (t *Task) RecvSock(fd int, max int) ([]byte, error) {
 // TryRecvSock is the non-blocking read: it polls the NIC and returns
 // whatever is buffered (nil when nothing is), or io.EOF at end-of-stream.
 func (t *Task) TryRecvSock(fd int, max int) ([]byte, error) {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return nil, err
 	}
+	defer end()
 	c, err := t.sockConn(fd)
 	if err != nil {
 		return nil, err
@@ -286,12 +310,11 @@ func (t *Task) TryRecvSock(fd int, max int) ([]byte, error) {
 // connections send FIN. CloseFile routes socket descriptors here, so
 // close(2) stays uniform across the table.
 func (t *Task) CloseSock(fd int) error {
-	t.Th.BeginSerial()
-	defer t.Th.EndSerial()
-	s, err := t.enterSock()
+	s, end, err := t.enterSock()
 	if err != nil {
 		return err
 	}
+	defer end()
 	sk, err := t.fdSock(fd)
 	if err != nil {
 		return err
@@ -305,6 +328,8 @@ func (t *Task) CloseSock(fd int) error {
 		// consuming it here lets a symmetric close tear down promptly.
 		s.PollRx(t.Port)
 	}
+	t.Th.BeginSerial()
+	defer t.Th.EndSerial()
 	return t.FDs().Close(fd)
 }
 
@@ -315,4 +340,30 @@ func (t *Task) SockState(fd int) (net.ConnState, error) {
 		return 0, err
 	}
 	return c.State(), nil
+}
+
+// ClaimNet declares this task's thread the machine stack's sole user: its
+// socket syscalls then keep connection, buffer and window state in the
+// domain phase, parking only at the serial carve-outs (rings, waiters,
+// scheduler, FD table). The claim is a checked contract — another thread
+// touching the stack panics deterministically — and a single-threaded
+// server or load generator is exactly the shape it fits. Release before
+// handing the stack to another task.
+func (t *Task) ClaimNet() error {
+	s, err := t.netStack()
+	if err != nil {
+		return err
+	}
+	s.Claim(t.Th)
+	return nil
+}
+
+// ReleaseNet drops this task's exclusive stack claim.
+func (t *Task) ReleaseNet() error {
+	s, err := t.netStack()
+	if err != nil {
+		return err
+	}
+	s.Release(t.Th)
+	return nil
 }

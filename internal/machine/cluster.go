@@ -29,6 +29,19 @@ func NewCluster(cfgs []Config, fcfg net.FabricConfig) (*Cluster, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("machine: empty cluster")
 	}
+	// One shared engine means one set of engine knobs: runEngine delegates
+	// to machine 0's choice, so a config that disagrees with it would be
+	// silently ignored. Reject the disagreement instead.
+	for i, cfg := range cfgs[1:] {
+		if cfg.Engine != cfgs[0].Engine {
+			return nil, &ConfigError{Field: "Engine", Value: cfg.Engine,
+				Reason: fmt.Sprintf("cluster machine %d disagrees with machine 0 (%v); one shared engine means one driver", i+1, cfgs[0].Engine)}
+		}
+		if cfg.EpochCycles != cfgs[0].EpochCycles {
+			return nil, &ConfigError{Field: "EpochCycles", Value: cfg.EpochCycles,
+				Reason: fmt.Sprintf("cluster machine %d disagrees with machine 0 (%d); one shared engine means one epoch", i+1, cfgs[0].EpochCycles)}
+		}
+	}
 	c := &Cluster{Eng: sim.NewEngine(), Fab: net.NewFabric(fcfg)}
 	for i, cfg := range cfgs {
 		cfg.SharedEngine = c.Eng
@@ -51,9 +64,12 @@ type ClusterTask struct {
 }
 
 // runEngine drives the shared engine with the cluster's configured driver
-// (machine 0's engine choice governs — NewCluster gave all machines the
-// same config knobs that matter here).
+// (machine 0's engine choice governs — NewCluster validated that every
+// machine's config agrees on the engine knobs).
 func (c *Cluster) runEngine() error { return c.Machines[0].runEngine() }
+
+// EngineStats returns the shared engine's accumulated driver counters.
+func (c *Cluster) EngineStats() sim.EngineStats { return c.Eng.Stats }
 
 // RunTasks creates each task's process on its machine, runs all bodies to
 // completion under the shared engine, and returns per-task results in

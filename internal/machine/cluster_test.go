@@ -2,6 +2,7 @@ package machine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -129,6 +130,44 @@ func TestClusterFusedPopcornDifferential(t *testing.T) {
 	if !bytes.Equal(fused, pop) {
 		t.Fatalf("fused and popcorn clusters transported different bytes (first diff %d)",
 			firstDiff(fused, pop))
+	}
+}
+
+// TestNewClusterEngineMismatch: one shared engine means one driver and one
+// epoch, so configs that disagree on either knob are a typed *ConfigError
+// at construction, not a silently ignored setting.
+func TestNewClusterEngineMismatch(t *testing.T) {
+	base := Config{Model: mem.Shared, OS: StramashOS}
+	cases := []struct {
+		name  string
+		warp  func(*Config)
+		field string
+	}{
+		{"engine", func(c *Config) { c.Engine = EnginePar }, "Engine"},
+		{"epoch", func(c *Config) { c.EpochCycles = 5000 }, "EpochCycles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfgs := []Config{base, base, base}
+			tc.warp(&cfgs[2])
+			_, err := NewCluster(cfgs, net.DefaultFabricConfig())
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("NewCluster with mismatched %s = %v, want *ConfigError", tc.field, err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+	// Agreement on a non-default engine is fine.
+	cfgs := []Config{base, base}
+	for i := range cfgs {
+		cfgs[i].Engine = EnginePar
+		cfgs[i].EpochCycles = 5000
+	}
+	if _, err := NewCluster(cfgs, net.DefaultFabricConfig()); err != nil {
+		t.Fatalf("NewCluster with agreeing engine knobs: %v", err)
 	}
 }
 

@@ -372,6 +372,10 @@ func (m *Machine) msgAreaBase() mem.PhysAddr {
 // MsgAreaSize returns the messaging area footprint.
 func (m *Machine) MsgAreaSize() uint64 { return msgAreaSize }
 
+// EngineStats returns the machine's engine driver counters (for a cluster
+// machine these are the shared engine's, cluster-wide).
+func (m *Machine) EngineStats() sim.EngineStats { return m.Plat.Engine.Stats }
+
 // ResetStats zeroes cache, messenger and task counters (after boot or
 // warmup) without disturbing memory or cache contents.
 func (m *Machine) ResetStats() {

@@ -90,6 +90,25 @@ func (f *Fabric) NIC(mach int) *NIC { return f.nics[mach] }
 // Machines returns the number of attached NICs.
 func (f *Fabric) Machines() int { return len(f.nics) }
 
+// Lookahead is the fabric's conservative lookahead: the minimum simulated
+// delay between a sender committing a frame (the doorbell write) and that
+// frame being visible in any destination RX ring — doorbell plus switch
+// store-and-forward of an empty frame. In clock-domain terms the switch is
+// its own domain and this is the lower bound it promises every machine.
+//
+// The parallel driver does not consume this bound to run RX reads in the
+// domain phase: visibility under both drivers is defined by segment
+// execution order, not simulated time (Transmit is sender-synchronous —
+// the frame lands within the sender's own segment), so a simulated-time
+// lookahead cannot license reordering ring reads around it. The bound is
+// still the honest description of the fabric's timing floor, and the
+// timing tests pin it so transport changes cannot silently shrink the
+// cross-machine latency the experiments assume.
+func (f *Fabric) Lookahead() sim.Cycles {
+	return f.Cfg.DoorbellCycles + f.Cfg.SwitchCycles +
+		sim.Cycles(HeaderBytes/f.Cfg.BytesPerCycle)
+}
+
 // acquire waits until the switch is idle at the calling thread's clock.
 // Re-checking after every yield makes arbitration deterministic: among
 // contending threads the engine always resumes the smallest (clock, ID)

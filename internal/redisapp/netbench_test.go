@@ -1,6 +1,8 @@
 package redisapp
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/machine"
@@ -109,6 +111,81 @@ func TestClusterBenchEngineIdentity(t *testing.T) {
 	for s := range seq.PerServer {
 		if seq.PerServer[s] != par.PerServer[s] {
 			t.Fatalf("server %d diverged:\nseq %+v\npar %+v", s, seq.PerServer[s], par.PerServer[s])
+		}
+	}
+}
+
+// BenchmarkClusterParallel measures host wall time for one ClusterBench
+// run under the parallel driver at 1, 2 and 4 server machines and host
+// parallelism 1, 2 and 8. ServerCompute gives every request a real
+// application body (domain-phase work), so widening the cluster adds
+// host-parallelizable load rather than pure serial transport. Simulated
+// results are pinned (the digest must match the sequential oracle); only
+// host wall time is allowed to move with GOMAXPROCS.
+func BenchmarkClusterParallel(b *testing.B) {
+	p := TrafficParams{
+		Requests: 240, Clients: 32, PayloadBytes: 512, Keys: 32,
+		ZipfS: 1.0, InterArrival: 900, SetEvery: 10, Seed: 7,
+		ServerCompute: 20000,
+	}
+	run := func(b *testing.B, servers int, engine machine.EngineKind) {
+		cfgs := make([]machine.Config, servers+1)
+		for i := range cfgs {
+			cfgs[i] = machine.Config{Model: mem.Shared, OS: machine.StramashOS, Engine: engine}
+		}
+		cl, err := machine.NewCluster(cfgs, net.DefaultFabricConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ClusterBench(cl, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, servers := range []int{1, 2, 4} {
+		servers := servers
+		var want uint64
+		b.Run(fmt.Sprintf("servers=%d/oracle-seq", servers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfgs := make([]machine.Config, servers+1)
+				for j := range cfgs {
+					cfgs[j] = machine.Config{Model: mem.Shared, OS: machine.StramashOS, Engine: machine.EngineSeq}
+				}
+				cl, err := machine.NewCluster(cfgs, net.DefaultFabricConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := ClusterBench(cl, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want = r.Traffic.Digest
+			}
+		})
+		for _, procs := range []int{1, 2, 8} {
+			procs := procs
+			b.Run(fmt.Sprintf("servers=%d/par/procs=%d", servers, procs), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				for i := 0; i < b.N; i++ {
+					run(b, servers, machine.EnginePar)
+				}
+				// Identity spot check outside the timed loop.
+				b.StopTimer()
+				cfgs := make([]machine.Config, servers+1)
+				for j := range cfgs {
+					cfgs[j] = machine.Config{Model: mem.Shared, OS: machine.StramashOS, Engine: machine.EnginePar}
+				}
+				cl, err := machine.NewCluster(cfgs, net.DefaultFabricConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := ClusterBench(cl, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want != 0 && r.Traffic.Digest != want {
+					b.Fatalf("par digest %x diverged from sequential oracle %x", r.Traffic.Digest, want)
+				}
+			})
 		}
 	}
 }

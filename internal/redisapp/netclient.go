@@ -38,6 +38,10 @@ type TrafficParams struct {
 	Seed uint64
 	// Port is the servers' listening port (0 = 6379).
 	Port uint16
+	// ServerCompute is extra per-request application work on each server,
+	// in instructions (NetServerParams.ExtraCompute, fanned out by
+	// ClusterBench). 0 keeps the pure store-lookup servers.
+	ServerCompute int64
 }
 
 // TrafficResult is the generator-side measurement.
@@ -161,6 +165,14 @@ func GenerateTraffic(t *kernel.Task, servers []net.Addr, p TrafficParams) (Traff
 	for i := range keyIdx {
 		keyIdx[i] = sampleZipf(rng, cdf)
 	}
+
+	// One generator thread drives every connection, so the machine stack
+	// can be claimed for the duration: send/recv pumps run in the
+	// generator's clock domain between ring hand-offs.
+	if err := t.ClaimNet(); err != nil {
+		return res, err
+	}
+	defer t.ReleaseNet()
 
 	fds := make([]int, len(servers))
 	for s, a := range servers {
@@ -297,6 +309,14 @@ func ClusterBench(cl *machine.Cluster, p TrafficParams) (ClusterResult, error) {
 	if nS < 1 {
 		return ClusterResult{}, fmt.Errorf("redisapp: cluster bench needs at least 2 machines")
 	}
+	if p.Requests < nS {
+		// A zero-share server would close its listener without ever polling
+		// its RX ring, leaving the generator's handshake to it hanging while
+		// the other servers spin — a simulated-time livelock, not an error
+		// any layer below can see. Reject the shape instead.
+		return ClusterResult{}, fmt.Errorf("redisapp: %d requests across %d servers leaves a server with nothing to serve",
+			p.Requests, nS)
+	}
 	if p.Port == 0 {
 		p.Port = 6379
 	}
@@ -314,6 +334,7 @@ func ClusterBench(cl *machine.Cluster, p TrafficParams) (ClusterResult, error) {
 				st, err := ServeNet(t, NetServerParams{
 					Port: p.Port, Expected: expected[s],
 					PayloadBytes: p.PayloadBytes, Keys: p.Keys, Migrate: true,
+					ExtraCompute: p.ServerCompute,
 				})
 				res.PerServer[s] = st
 				return err

@@ -97,6 +97,11 @@ type NetServerParams struct {
 	// Migrate serves from the remote ISA after populating at the origin
 	// (the paper's time_event scenario, like the ring-based server).
 	Migrate bool
+	// ExtraCompute is added application work per request, in instructions
+	// (0 = none). It models request bodies heavier than pure store lookups
+	// and gives scaling benchmarks a per-machine compute component that
+	// runs in the domain phase.
+	ExtraCompute int64
 }
 
 // NetServerStats reports one server task's work.
@@ -118,6 +123,14 @@ type NetServerStats struct {
 // and many per-client connections behave the same.
 func ServeNet(t *kernel.Task, p NetServerParams) (NetServerStats, error) {
 	var st NetServerStats
+	// The server is its machine stack's only user, so claim it: request
+	// parsing, connection bookkeeping and store work then stay in the
+	// thread's own clock domain, and only NIC-ring and waiter hand-offs
+	// cross to the serial phase.
+	if err := t.ClaimNet(); err != nil {
+		return st, err
+	}
+	defer t.ReleaseNet()
 	lfd, err := t.SocketListen(p.Port)
 	if err != nil {
 		return st, err
@@ -193,6 +206,9 @@ func ServeNet(t *kernel.Task, p NetServerParams) (NetServerStats, error) {
 					return st, err
 				}
 				st.Misses += miss
+				if p.ExtraCompute > 0 {
+					t.Compute(p.ExtraCompute)
+				}
 				status := byte(1)
 				if miss > 0 {
 					status = 0

@@ -12,9 +12,10 @@ import (
 //
 // The model: every thread belongs to a clock domain (a simulated node, or
 // GlobalDomain). Domain-private state — a node's private caches, its
-// directory shard, per-task TLBs, per-core run queues — may be touched
-// while a thread holds only its domain token. Everything else (coherence
-// across nodes, messaging rings, IPIs, the VFS, kernel allocators) is a
+// directory shard, per-task TLBs, per-core run queues, a claimed network
+// stack's connection tables — may be touched while a thread holds only its
+// domain token. Everything else (coherence across nodes, messaging rings,
+// NIC rings and the switch fabric, IPIs, the VFS, kernel allocators) is a
 // cross-domain effect and must run under the single global token, which
 // threads obtain by parking at a CrossDomain call.
 //
@@ -34,6 +35,16 @@ import (
 //     exactly the order the sequential driver starts segments in. A
 //     granted continuation runs until its next yield point, then the
 //     domain phase reopens.
+//
+// Serial-section narrowing: when at most one domain has runnable work and
+// nothing needs the global token, a domain phase would run exactly one
+// domain — all the phase machinery (goroutine hand-offs, CrossDomain
+// parks, re-grants) buys nothing. The driver instead grants those threads
+// serially, in the same (clock, ID) order the phase would have used. Both
+// execution modes independently reproduce the sequential schedule, so
+// switching between them at segment granularity is sound; the switch
+// condition is a pure function of thread states and simulated clocks,
+// never of host scheduling.
 //
 // Epoch boundaries are pure functions of simulated clocks (never host
 // scheduling), so the same simulation reaches the same boundaries every
@@ -66,26 +77,63 @@ func (e *Engine) RunParallel(epoch Cycles) error {
 
 	var epochEnd Cycles
 	for {
-		if e.allDone() {
-			return e.firstErr()
+		// One pass over the threads computes everything admission needs:
+		// the minimum parked continuation, the minimum runnable thread,
+		// whether any runnable thread requires the global token, and how
+		// many distinct domains have runnable domain-phase work.
+		var parked, next *Thread
+		serialNeed := false
+		domains, firstDomain := 0, 0
+		for _, t := range e.threads {
+			if t.parked {
+				if parked == nil || t.segKey < parked.segKey ||
+					(t.segKey == parked.segKey && t.ID < parked.ID) {
+					parked = t
+				}
+				continue
+			}
+			if t.state != stateRunnable {
+				continue
+			}
+			if next == nil || t.now < next.now || (t.now == next.now && t.ID < next.ID) {
+				next = t
+			}
+			if t.domain == GlobalDomain || t.serialDepth > 0 {
+				serialNeed = true
+			} else if domains == 0 {
+				domains, firstDomain = 1, t.domain
+			} else if t.domain != firstDomain {
+				domains = 2 // "more than one" is all admission needs
+			}
 		}
-		parked := e.minParked()
-		next := e.pickNext()
 		if parked == nil && next == nil {
+			if e.allDone() {
+				return e.firstErr()
+			}
 			return e.deadlockErr()
 		}
 
-		// Serial admission: parked continuations, and every segment while a
+		// Serial admission: parked continuations, every segment while a
 		// thread needing the global token is runnable (its segment may touch
 		// anything, so nothing may run concurrently with it, and segments
-		// around it must keep their sequential order).
-		if parked != nil || e.serialRunnable() {
+		// around it must keep their sequential order) — and, as the narrow
+		// fast path, every segment while at most one domain is active.
+		if parked != nil || serialNeed || domains <= 1 {
 			t := parked
 			if t == nil || (next != nil && (next.now < t.segKey ||
 				(next.now == t.segKey && next.ID < t.ID))) {
 				t = next
 			}
+			solo := parked == nil && !serialNeed
+			c0 := t.now
 			e.grantSerial(t)
+			if solo {
+				e.Stats.SoloSegments++
+				e.Stats.SoloCycles += t.now - c0
+			} else {
+				e.Stats.SerialSegments++
+				e.Stats.SerialCycles += t.now - c0
+			}
 			if t.err != nil {
 				return t.err
 			}
@@ -115,36 +163,67 @@ func (e *Engine) grantSerial(t *Thread) {
 	<-t.yield
 }
 
+// domainRun is one domain's accounting for one domain phase.
+type domainRun struct {
+	failed *Thread
+	segs   int64
+	cycles Cycles
+	parked bool
+}
+
 // runDomainPhase runs every domain with admissible work on its own host
-// goroutine and waits for all of them to quiesce. It returns the failed
-// thread if any thread errored, preferring the lowest thread ID so the
-// returned error does not depend on host scheduling.
+// goroutine and waits for all of them to quiesce; a phase with exactly one
+// admissible domain runs inline on the driver goroutine (cheap, and common
+// when domains' clocks are skewed across the horizon). It returns the
+// failed thread if any thread errored, preferring the lowest thread ID so
+// the returned error does not depend on host scheduling.
 func (e *Engine) runDomainPhase(epochEnd Cycles) *Thread {
-	var domains []int
-	seen := make(map[int]bool)
+	e.phaseDomains = e.phaseDomains[:0]
 	for _, t := range e.threads {
-		if t.domain == GlobalDomain || t.serialDepth > 0 || seen[t.domain] {
+		if t.domain == GlobalDomain || t.serialDepth > 0 ||
+			t.state != stateRunnable || t.now >= epochEnd {
 			continue
 		}
-		if t.state == stateRunnable && t.now < epochEnd {
-			seen[t.domain] = true
-			domains = append(domains, t.domain)
+		seen := false
+		for _, d := range e.phaseDomains {
+			if d == t.domain {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			e.phaseDomains = append(e.phaseDomains, t.domain)
 		}
 	}
-	var wg sync.WaitGroup
-	errs := make([]*Thread, len(domains))
-	for i, d := range domains {
-		wg.Add(1)
-		go func(i, d int) {
-			defer wg.Done()
-			errs[i] = e.runDomain(d, epochEnd)
-		}(i, d)
+	e.Stats.Phases++
+	e.Stats.PhaseDomains += int64(len(e.phaseDomains))
+	if w := int64(len(e.phaseDomains)); w > e.Stats.MaxPhaseWidth {
+		e.Stats.MaxPhaseWidth = w
 	}
-	wg.Wait()
+	var runs []domainRun
+	if len(e.phaseDomains) == 1 {
+		runs = []domainRun{e.runDomain(e.phaseDomains[0], epochEnd)}
+	} else {
+		runs = make([]domainRun, len(e.phaseDomains))
+		var wg sync.WaitGroup
+		for i, d := range e.phaseDomains {
+			wg.Add(1)
+			go func(i, d int) {
+				defer wg.Done()
+				runs[i] = e.runDomain(d, epochEnd)
+			}(i, d)
+		}
+		wg.Wait()
+	}
 	var failed *Thread
-	for _, t := range errs {
-		if t != nil && (failed == nil || t.ID < failed.ID) {
-			failed = t
+	for _, r := range runs {
+		e.Stats.DomainSegments += r.segs
+		e.Stats.DomainCycles += r.cycles
+		if r.parked {
+			e.Stats.Parks++
+		}
+		if r.failed != nil && (failed == nil || r.failed.ID < failed.ID) {
+			failed = r.failed
 		}
 	}
 	return failed
@@ -153,7 +232,7 @@ func (e *Engine) runDomainPhase(epochEnd Cycles) *Thread {
 // runDomain is one domain's scheduler for one domain phase: it repeatedly
 // grants the domain's runnable thread with the smallest (clock, ID) below
 // the horizon, and stops at quiesce or the moment a thread parks.
-func (e *Engine) runDomain(d int, epochEnd Cycles) (failed *Thread) {
+func (e *Engine) runDomain(d int, epochEnd Cycles) (r domainRun) {
 	for {
 		var best *Thread
 		for _, t := range e.threads {
@@ -165,46 +244,25 @@ func (e *Engine) runDomain(d int, epochEnd Cycles) (failed *Thread) {
 			}
 		}
 		if best == nil {
-			return nil
+			return r
 		}
 		best.local = true
 		best.segKey = best.now
+		c0 := best.now
 		best.resume <- struct{}{}
 		<-best.yield
 		best.local = false
+		r.segs++
+		r.cycles += best.now - c0
 		if best.err != nil {
-			return best
+			r.failed = best
+			return r
 		}
 		if best.parked {
 			// The domain freezes behind its parked segment; the serial
 			// phase will continue it in key order.
-			return nil
+			r.parked = true
+			return r
 		}
 	}
-}
-
-// minParked returns the parked thread with the smallest (segment key, ID).
-func (e *Engine) minParked() *Thread {
-	var best *Thread
-	for _, t := range e.threads {
-		if !t.parked {
-			continue
-		}
-		if best == nil || t.segKey < best.segKey || (t.segKey == best.segKey && t.ID < best.ID) {
-			best = t
-		}
-	}
-	return best
-}
-
-// serialRunnable reports whether any runnable thread requires the global
-// token: global-domain threads always do, domain threads do while inside a
-// BeginSerial section.
-func (e *Engine) serialRunnable() bool {
-	for _, t := range e.threads {
-		if t.state == stateRunnable && (t.domain == GlobalDomain || t.serialDepth > 0) {
-			return true
-		}
-	}
-	return false
 }

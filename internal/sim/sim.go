@@ -337,9 +337,16 @@ type Engine struct {
 	// simulated clock, so tracing cannot perturb the schedule.
 	Tracer trace.Tracer
 
+	// Stats accumulates host-side driver counters across runs. They are
+	// deterministic but driver-dependent; see EngineStats.
+	Stats EngineStats
+
 	threads []*Thread
 	lastRun ThreadID
 	running bool
+
+	// phaseDomains is the parallel driver's reusable phase scratch.
+	phaseDomains []int
 }
 
 // NewEngine returns an engine with the default scheduling quantum.
@@ -428,8 +435,11 @@ func (e *Engine) Run() error {
 				Tid: int32(next.ID), Node: -1, Name: next.Name})
 		}
 		e.lastRun = next.ID
+		c0 := next.now
 		next.resume <- struct{}{}
 		<-next.yield
+		e.Stats.SerialSegments++
+		e.Stats.SerialCycles += next.now - c0
 		if next.err != nil {
 			return next.err
 		}
