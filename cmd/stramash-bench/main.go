@@ -60,6 +60,7 @@ func main() {
 	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	hostprocs := flag.Int("hostprocs", 0, "concurrent machine runs within pooled experiments (0 = leave at 1)")
 	engineStats := flag.Bool("engine-stats", false, "capture per-run engine driver counters into the -json report (driver-dependent; experiments that support it)")
+	workerStats := flag.Bool("worker-stats", false, "include per-worker counters (worker ops, futex waits, fsync batches) in the metrics of experiments that run the production redis server")
 	flag.Parse()
 
 	eng, err := machine.ParseEngine(*engineFlag)
@@ -77,6 +78,7 @@ func main() {
 		experiments.HostProcs = *hostprocs
 	}
 	experiments.CollectEngineStats = *engineStats
+	experiments.CollectWorkerStats = *workerStats
 
 	if *list {
 		for _, s := range experiments.All() {

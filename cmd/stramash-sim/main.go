@@ -11,6 +11,9 @@
 //	             [-l3 bytes] [-no-migrate]
 //	             [-trace out.json] [-trace-summary]
 //	             [-fileio] [-cluster N] [-cluster-requests R]
+//	             [-prod] [-prod-kind sharded|locked]
+//	             [-prod-regime fused|popcorn] [-prod-cores N]
+//	             [-prod-requests R]
 //
 // -trace records every simulated event (schedule, faults, coherence,
 // messaging) and writes a Chrome trace-event JSON loadable in Perfetto or
@@ -28,6 +31,12 @@
 // switch fabric and runs the open-loop socket redis benchmark under the
 // selected -os/-model personality, printing client latency percentiles,
 // per-server accounting, and each machine's NIC counters.
+//
+// -prod boots a load generator plus one multi-core production redis
+// server (cloned worker per core, pipelined frontend, AOF group commit
+// through the chosen page-cache regime), prints per-worker and
+// persistence counters, and exits non-zero if replaying the AOF does not
+// rebuild the live keyspace — the recovery gate CI runs.
 package main
 
 import (
@@ -56,6 +65,11 @@ func main() {
 	fileIO := flag.Bool("fileio", false, "run the cross-ISA shared-file workload under both page-cache regimes")
 	cluster := flag.Int("cluster", 0, "boot N server machines plus a load balancer and run the socket redis benchmark")
 	clusterReqs := flag.Int("cluster-requests", 200, "requests for the -cluster benchmark")
+	prod := flag.Bool("prod", false, "run the multi-core production redis server with AOF persistence and verify recovery")
+	prodKind := flag.String("prod-kind", "sharded", "production keyspace regime: sharded or locked")
+	prodRegime := flag.String("prod-regime", "fused", "production AOF page-cache regime: fused or popcorn")
+	prodCores := flag.Int("prod-cores", 2, "production server cores per node (2x workers)")
+	prodReqs := flag.Int("prod-requests", 200, "requests for the -prod benchmark")
 	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
 	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	flag.Parse()
@@ -74,6 +88,15 @@ func main() {
 
 	if *fileIO {
 		fatal(runFileIO())
+		return
+	}
+
+	if *prod {
+		kind, err := parseKeyspace(*prodKind)
+		fatal(err)
+		regime, err := parseRegime(*prodRegime)
+		fatal(err)
+		fatal(runProd(kind, regime, *prodCores, *prodReqs))
 		return
 	}
 

@@ -30,6 +30,12 @@ type EngineStatsSource interface {
 // engine driver counters (stramash-bench -engine-stats).
 var CollectEngineStats = false
 
+// CollectWorkerStats makes experiments that run the production redis
+// server emit per-worker counters (worker ops, futex waits, fsync
+// batches) in Metrics (stramash-bench -worker-stats). Off by default so
+// the default Metrics map stays small and stable as worker counts grow.
+var CollectWorkerStats = false
+
 // JSONOutcome is one experiment's record in the -json report.
 type JSONOutcome struct {
 	ID   string `json:"id"`

@@ -45,6 +45,7 @@ func Extra() []Spec {
 		{"multicore", func(s Scale) (Result, error) { return Multicore(s) }},
 		{"filesys", func(s Scale) (Result, error) { return Filesys(s) }},
 		{"cluster", func(s Scale) (Result, error) { return Cluster(s) }},
+		{"redisprod", func(s Scale) (Result, error) { return Redisprod(s) }},
 	}
 }
 

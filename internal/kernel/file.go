@@ -203,6 +203,8 @@ func (t *Task) WriteFile(fd int, p []byte) (int, error) {
 	}
 	off := f.Off
 	if f.Flags&vfs.OAppend != 0 {
+		f.Ino.LockAppend(t.Port)
+		defer f.Ino.UnlockAppend()
 		off = f.Ino.Size
 	}
 	n, err := t.WriteFileAt(fd, p, off)

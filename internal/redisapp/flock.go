@@ -1,0 +1,91 @@
+package redisapp
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+)
+
+// futexMutex is a three-state userspace mutex over one simulated-memory
+// word, the classic glibc shape: 0 = unlocked, 1 = locked/no-waiters,
+// 2 = locked/contended. The uncontended path is a single CAS; only
+// contention enters the kernel via FutexWait/FutexWake — which is exactly
+// the cost the fused-vs-popcorn comparison wants to expose, since a
+// contended handoff between nodes crosses whichever coherence fabric the
+// regime provides.
+//
+// The word lives in ordinary task memory (the caller allocates and zeroes
+// it), so MESI/DSM traffic on the lock word is modeled like any other
+// store field.
+type futexMutex struct {
+	word pgtable.VirtAddr
+	// salt desynchronizes backoff between mutex instances: workers
+	// hammering different bucket stripes retry on different schedules, so
+	// two symmetric CAS loops cannot livelock in deterministic lockstep
+	// (the futexbench lesson).
+	salt int
+}
+
+// lockBackoff grows with the attempt and differs per node and per mutex;
+// under the deterministic engine this asymmetry is what cache arbitration
+// provides on real hardware.
+func (m *futexMutex) lockBackoff(t *kernel.Task, attempt int) {
+	t.Th.Advance(sim.Cycles((attempt + 1) * (41 + 23*int(t.Node) + 7*(m.salt&15))))
+}
+
+// Lock acquires the mutex, sleeping in the kernel while it is contended.
+func (m *futexMutex) Lock(t *kernel.Task) error {
+	for attempt := 0; ; attempt++ {
+		v, err := t.Load(m.word, 8)
+		if err != nil {
+			return err
+		}
+		switch v {
+		case 0:
+			if _, ok, err := t.CAS(m.word, 0, 1); err != nil {
+				return err
+			} else if ok {
+				return nil
+			}
+			m.lockBackoff(t, attempt)
+		case 1:
+			// Mark contended before sleeping so the holder knows to wake
+			// us. If the CAS fails the word changed under us; re-examine.
+			if _, ok, err := t.CAS(m.word, 1, 2); err != nil {
+				return err
+			} else if !ok {
+				m.lockBackoff(t, attempt)
+				continue
+			}
+			if err := t.OS.FutexWait(t, m.word, 2); err != nil && err != kernel.ErrFutexRetry {
+				return err
+			}
+		default: // 2: already marked contended
+			if err := t.OS.FutexWait(t, m.word, 2); err != nil && err != kernel.ErrFutexRetry {
+				return err
+			}
+		}
+	}
+}
+
+// Unlock releases the mutex, waking waiters only if the word was marked
+// contended. The release is a CAS(1→0): if it fails, a waiter moved the
+// word to 2 after our last look, so we must take the slow path. A plain
+// load-then-store would lose that transition and strand the waiter.
+func (m *futexMutex) Unlock(t *kernel.Task) error {
+	_, ok, err := t.CAS(m.word, 1, 0)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	// Word was 2 (contended): clear it and wake everyone. Waking all
+	// rather than one trades a thundering herd for not having to maintain
+	// a precise waiter count; the herd re-CASes and the losers re-sleep.
+	if err := t.Store(m.word, 8, 0); err != nil {
+		return err
+	}
+	_, err = t.OS.FutexWake(t, m.word, 64)
+	return err
+}

@@ -44,6 +44,44 @@ type TrafficParams struct {
 	ServerCompute int64
 }
 
+// Validate rejects traffic shapes that cannot run against servers
+// listening machines: zero/negative counts, payloads the stream decoder
+// would reject as corrupt, and the PR 9 fuzz-found livelock shape
+// (requests < servers leaves a zero-share server that never polls its RX
+// ring, hanging the generator's handshake in simulated time).
+func (p TrafficParams) Validate(servers int) error {
+	if servers < 1 {
+		return &ParamError{Field: "servers", Value: servers, Reason: "need at least one server machine"}
+	}
+	if p.Requests <= 0 {
+		return &ParamError{Field: "Requests", Value: p.Requests, Reason: "must be positive"}
+	}
+	if p.Requests < servers {
+		return &ParamError{Field: "Requests", Value: p.Requests,
+			Reason: fmt.Sprintf("%d servers would leave one with nothing to serve", servers)}
+	}
+	if p.Clients <= 0 {
+		return &ParamError{Field: "Clients", Value: p.Clients, Reason: "must be positive"}
+	}
+	if p.PayloadBytes <= 0 {
+		return &ParamError{Field: "PayloadBytes", Value: p.PayloadBytes, Reason: "must be positive"}
+	}
+	if p.PayloadBytes > maxNetVal {
+		return &ParamError{Field: "PayloadBytes", Value: p.PayloadBytes,
+			Reason: fmt.Sprintf("exceeds stream value bound %d", maxNetVal)}
+	}
+	if p.Keys <= 0 {
+		return &ParamError{Field: "Keys", Value: p.Keys, Reason: "must be positive"}
+	}
+	if p.InterArrival < 0 {
+		return &ParamError{Field: "InterArrival", Value: p.InterArrival, Reason: "must not be negative"}
+	}
+	if p.SetEvery < 0 {
+		return &ParamError{Field: "SetEvery", Value: p.SetEvery, Reason: "must not be negative"}
+	}
+	return nil
+}
+
 // TrafficResult is the generator-side measurement.
 type TrafficResult struct {
 	Sent, Done int
@@ -146,8 +184,8 @@ func percentile(lats []sim.Cycles, q float64) sim.Cycles {
 // response-decode time minus nominal arrival time.
 func GenerateTraffic(t *kernel.Task, servers []net.Addr, p TrafficParams) (TrafficResult, error) {
 	var res TrafficResult
-	if len(servers) == 0 || p.Requests <= 0 {
-		return res, fmt.Errorf("redisapp: traffic needs servers and requests")
+	if err := p.Validate(len(servers)); err != nil {
+		return res, err
 	}
 	if p.InterArrival <= 0 {
 		p.InterArrival = 2000
@@ -209,6 +247,10 @@ func GenerateTraffic(t *kernel.Task, servers []net.Addr, p TrafficParams) (Traff
 				}
 				continue
 			}
+			// Pipelining: stage every sendable request for this server and
+			// flush them in one socket write, so a burst of arrivals costs
+			// one send-path traversal instead of one per request.
+			var batch []byte
 			for len(queued[s]) > 0 && len(pend[s]) < depth {
 				i := queued[s][0]
 				queued[s] = queued[s][1:]
@@ -216,12 +258,15 @@ func GenerateTraffic(t *kernel.Task, servers []net.Addr, p TrafficParams) (Traff
 				if p.SetEvery > 0 && i%p.SetEvery == 0 {
 					cmd, val = CmdSet, valFor(bp, keyIdx[i])
 				}
-				if _, err := t.SendSock(fds[s], encodeRequest(cmd, keyFor(bp, keyIdx[i]), val)); err != nil {
-					return res, err
-				}
+				batch = append(batch, encodeRequest(cmd, keyFor(bp, keyIdx[i]), val)...)
 				pend[s] = append(pend[s], pendReq{idx: i, arrival: arrival(i)})
 				res.Sent++
 				progress = true
+			}
+			if len(batch) > 0 {
+				if _, err := t.SendSock(fds[s], batch); err != nil {
+					return res, err
+				}
 			}
 		}
 		// Receive pump: drain responses in FIFO order per connection.
@@ -306,16 +351,8 @@ type ClusterResult struct {
 // task per remaining machine, over sockets, NIC rings and the switch.
 func ClusterBench(cl *machine.Cluster, p TrafficParams) (ClusterResult, error) {
 	nS := len(cl.Machines) - 1
-	if nS < 1 {
-		return ClusterResult{}, fmt.Errorf("redisapp: cluster bench needs at least 2 machines")
-	}
-	if p.Requests < nS {
-		// A zero-share server would close its listener without ever polling
-		// its RX ring, leaving the generator's handshake to it hanging while
-		// the other servers spin — a simulated-time livelock, not an error
-		// any layer below can see. Reject the shape instead.
-		return ClusterResult{}, fmt.Errorf("redisapp: %d requests across %d servers leaves a server with nothing to serve",
-			p.Requests, nS)
+	if err := p.Validate(nS); err != nil {
+		return ClusterResult{}, err
 	}
 	if p.Port == 0 {
 		p.Port = 6379

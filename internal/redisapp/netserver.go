@@ -190,6 +190,11 @@ func ServeNet(t *kernel.Task, p NetServerParams) (NetServerStats, error) {
 			}
 			progress = true
 			buf := append(bufs[fd], data...)
+			// Pipelining: decode and execute every complete request in the
+			// reassembly buffer, staging the responses, then flush them in
+			// one socket write per drain — a pipelined client's burst costs
+			// one send-path traversal instead of one per response.
+			var out []byte
 			for {
 				cmd, key, val, rest, ok, derr := decodeRequest(buf)
 				if derr != nil {
@@ -213,10 +218,13 @@ func ServeNet(t *kernel.Task, p NetServerParams) (NetServerStats, error) {
 				if miss > 0 {
 					status = 0
 				}
-				if _, err := t.SendSock(fd, encodeResponse(status, payload)); err != nil {
+				out = append(out, encodeResponse(status, payload)...)
+				st.Served++
+			}
+			if len(out) > 0 {
+				if _, err := t.SendSock(fd, out); err != nil {
 					return st, err
 				}
-				st.Served++
 			}
 			bufs[fd] = buf
 		}

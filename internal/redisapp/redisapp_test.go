@@ -2,6 +2,7 @@ package redisapp
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/kernel"
@@ -157,11 +158,16 @@ func TestArenaExhaustion(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if _, err := arena.Alloc(4000); err != nil {
+		if _, err := arena.Alloc(task, 4000); err != nil {
 			return err
 		}
-		if _, err := arena.Alloc(200); err == nil {
+		_, err = arena.Alloc(task, 200)
+		if err == nil {
 			t.Error("over-allocation accepted")
+		}
+		var se *StoreError
+		if !errors.As(err, &se) || se.Kind != ErrArenaExhausted {
+			t.Errorf("over-allocation error = %v, want *StoreError{ErrArenaExhausted}", err)
 		}
 		return nil
 	})

@@ -75,6 +75,30 @@ func DefaultBenchParams(cmd Command) BenchParams {
 	return BenchParams{Command: cmd, Requests: 300, PayloadBytes: 1024, Keys: 64}
 }
 
+// Validate rejects shapes the benchmark cannot run: unknown commands,
+// zero/negative counts, and payloads that overflow a ring slot. Run calls
+// it after applying defaults, so a zero-valued BenchParams{Command: c}
+// stays the "use defaults" idiom.
+func (p BenchParams) Validate() error {
+	if p.Command < CmdGet || p.Command > CmdMSet {
+		return &ParamError{Field: "Command", Value: int(p.Command), Reason: "unknown command code"}
+	}
+	if p.Requests <= 0 {
+		return &ParamError{Field: "Requests", Value: p.Requests, Reason: "must be positive"}
+	}
+	if p.PayloadBytes <= 0 {
+		return &ParamError{Field: "PayloadBytes", Value: p.PayloadBytes, Reason: "must be positive"}
+	}
+	if p.PayloadBytes > maxRRPayload {
+		return &ParamError{Field: "PayloadBytes", Value: p.PayloadBytes,
+			Reason: fmt.Sprintf("exceeds slot capacity %d", maxRRPayload)}
+	}
+	if p.Keys <= 0 {
+		return &ParamError{Field: "Keys", Value: p.Keys, Reason: "must be positive"}
+	}
+	return nil
+}
+
 // BenchResult is one Figure 14 measurement.
 type BenchResult struct {
 	Command          Command
@@ -106,8 +130,8 @@ func Run(m *machine.Machine, p BenchParams) (BenchResult, error) {
 	if p.Requests == 0 {
 		p = DefaultBenchParams(p.Command)
 	}
-	if p.PayloadBytes > maxRRPayload {
-		return BenchResult{}, fmt.Errorf("redisapp: payload %d exceeds slot capacity %d", p.PayloadBytes, maxRRPayload)
+	if err := p.Validate(); err != nil {
+		return BenchResult{}, err
 	}
 	res := BenchResult{Command: p.Command, Requests: p.Requests}
 

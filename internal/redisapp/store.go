@@ -8,9 +8,10 @@
 package redisapp
 
 import (
-	"fmt"
+	"encoding/binary"
 
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/pgtable"
 )
 
@@ -39,11 +40,29 @@ const entryHdr = 40
 // Arena is a bump allocator over a simulated-memory region; the store's
 // objects are carved from it (Redis uses jemalloc; a bump arena keeps the
 // layout deterministic while preserving the pointer-chasing behaviour).
+//
+// Two ownership modes share the struct. A private arena (NewArena) keeps
+// its bump offset in host state — valid only while a single task (or the
+// single-threaded seed server) allocates from it. A shared arena
+// (NewSharedArena) keeps the offset in simulated memory, guarded by a
+// futex-backed mutex, so cloned workers in different clock domains can
+// allocate concurrently without a host-level data race: the offset word is
+// ordinary coherent memory traffic like every other store field.
 type Arena struct {
 	base pgtable.VirtAddr
 	size uint64
 	off  uint64
+
+	// Shared mode: offAddr is the simulated-memory bump offset and mu
+	// serializes allocations. Both zero in private mode.
+	offAddr pgtable.VirtAddr
+	mu      futexMutex
 }
+
+// arenaCtl is the control-block size reserved at the base of a shared
+// arena: the offset word at +0 and the allocator's futex word one cache
+// line later, so bump traffic and lock traffic do not false-share.
+const arenaCtl = 128
 
 // NewArena reserves size bytes of task address space.
 func NewArena(t *kernel.Task, size uint64, name string) (*Arena, error) {
@@ -54,19 +73,89 @@ func NewArena(t *kernel.Task, size uint64, name string) (*Arena, error) {
 	return &Arena{base: base, size: size}, nil
 }
 
-// Alloc returns n bytes (8-byte aligned) of fresh arena space.
-func (a *Arena) Alloc(n uint64) (pgtable.VirtAddr, error) {
-	n = (n + 7) &^ 7
-	if a.off+n > a.size {
-		return 0, fmt.Errorf("redisapp: arena exhausted (%d + %d > %d)", a.off, n, a.size)
+// NewSharedArena reserves size bytes whose bump offset lives in simulated
+// memory under a futex-backed lock, for stores shared by cloned workers.
+func NewSharedArena(t *kernel.Task, size uint64, name string) (*Arena, error) {
+	a, err := NewArena(t, size, name)
+	if err != nil {
+		return nil, err
 	}
-	p := a.base + pgtable.VirtAddr(a.off)
-	a.off += n
-	return p, nil
+	a.offAddr = a.base
+	a.mu = futexMutex{word: a.base + 64}
+	if err := t.Store(a.offAddr, 8, arenaCtl); err != nil {
+		return nil, err
+	}
+	if err := t.Store(a.mu.word, 8, 0); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
-// Used returns the bytes allocated so far.
+// Alloc returns n bytes (8-byte aligned) of fresh arena space. On a shared
+// arena the bump is a locked read-modify-write of the simulated offset
+// word; on a private arena it is pure host bookkeeping (no simulated work),
+// which keeps the single-threaded server's cycle counts unchanged.
+func (a *Arena) Alloc(t *kernel.Task, n uint64) (pgtable.VirtAddr, error) {
+	n = (n + 7) &^ 7
+	if a.offAddr == 0 {
+		if a.off+n > a.size {
+			return 0, &StoreError{Kind: ErrArenaExhausted, Op: "alloc", Size: a.off + n, Limit: a.size}
+		}
+		p := a.base + pgtable.VirtAddr(a.off)
+		a.off += n
+		return p, nil
+	}
+	if err := a.mu.Lock(t); err != nil {
+		return 0, err
+	}
+	off, err := t.Load(a.offAddr, 8)
+	if err != nil {
+		a.mu.Unlock(t)
+		return 0, err
+	}
+	if off+n > a.size {
+		a.mu.Unlock(t)
+		return 0, &StoreError{Kind: ErrArenaExhausted, Op: "alloc", Size: off + n, Limit: a.size}
+	}
+	if err := t.Store(a.offAddr, 8, off+n); err != nil {
+		a.mu.Unlock(t)
+		return 0, err
+	}
+	if err := a.mu.Unlock(t); err != nil {
+		return 0, err
+	}
+	return a.base + pgtable.VirtAddr(off), nil
+}
+
+// Prefault touches the first limit bytes of the arena (clamped to its
+// size), one read per page, so demand-zero faults happen when the arena
+// is built instead of inside the timed serve window — the simulated
+// analogue of production redis pre-touching its heap. Loads, not stores:
+// the fault handlers map anonymous pages writable on first touch, and a
+// load never clobbers the control words a shared arena keeps at its base.
+func (a *Arena) Prefault(t *kernel.Task, limit uint64) error {
+	if limit > a.size {
+		limit = a.size
+	}
+	for off := uint64(0); off < limit; off += mem.PageSize {
+		if _, err := t.Load(a.base+pgtable.VirtAddr(off), 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Used returns the bytes allocated so far from a private arena. Shared
+// arenas keep the offset in simulated memory; use UsedAt.
 func (a *Arena) Used() uint64 { return a.off }
+
+// UsedAt reads the bytes allocated so far, in either mode.
+func (a *Arena) UsedAt(t *kernel.Task) (uint64, error) {
+	if a.offAddr == 0 {
+		return a.off, nil
+	}
+	return t.Load(a.offAddr, 8)
+}
 
 // Store is the in-memory database.
 type Store struct {
@@ -77,7 +166,7 @@ type Store struct {
 
 // NewStore builds an empty keyspace with the given bucket count.
 func NewStore(t *kernel.Task, arena *Arena, nBuckets int) (*Store, error) {
-	b, err := arena.Alloc(uint64(nBuckets) * 8)
+	b, err := arena.Alloc(t, uint64(nBuckets)*8)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +246,7 @@ func (s *Store) ensureEntry(t *kernel.Task, key []byte, typ uint64) (pgtable.Vir
 		return e, nil
 	}
 	h := hashKey(t, key)
-	e, err = s.arena.Alloc(entryHdr + uint64(len(key)))
+	e, err = s.arena.Alloc(t, entryHdr+uint64(len(key)))
 	if err != nil {
 		return 0, err
 	}
@@ -193,11 +282,14 @@ func (s *Store) ensureEntry(t *kernel.Task, key []byte, typ uint64) (pgtable.Vir
 
 // Set stores a string value under key.
 func (s *Store) Set(t *kernel.Task, key, val []byte) error {
+	if len(val) > maxStoreVal {
+		return &StoreError{Kind: ErrValueTooLarge, Op: "set", Size: uint64(len(val)), Limit: maxStoreVal}
+	}
 	e, err := s.ensureEntry(t, key, typeString)
 	if err != nil {
 		return err
 	}
-	blk, err := s.arena.Alloc(8 + uint64(len(val)))
+	blk, err := s.arena.Alloc(t, 8+uint64(len(val)))
 	if err != nil {
 		return err
 	}
@@ -243,7 +335,7 @@ func (s *Store) listHeader(t *kernel.Task, key []byte) (pgtable.VirtAddr, error)
 	if vp != 0 {
 		return pgtable.VirtAddr(vp), nil
 	}
-	hd, err := s.arena.Alloc(24)
+	hd, err := s.arena.Alloc(t, 24)
 	if err != nil {
 		return 0, err
 	}
@@ -257,11 +349,14 @@ func (s *Store) listHeader(t *kernel.Task, key []byte) (pgtable.VirtAddr, error)
 
 // Push appends val at the left or right end of key's list.
 func (s *Store) Push(t *kernel.Task, key, val []byte, left bool) error {
+	if len(val) > maxStoreVal {
+		return &StoreError{Kind: ErrValueTooLarge, Op: "push", Size: uint64(len(val)), Limit: maxStoreVal}
+	}
 	hd, err := s.listHeader(t, key)
 	if err != nil {
 		return err
 	}
-	node, err := s.arena.Alloc(24 + uint64(len(val)))
+	node, err := s.arena.Alloc(t, 24+uint64(len(val)))
 	if err != nil {
 		return err
 	}
@@ -409,6 +504,9 @@ func (s *Store) LLen(t *kernel.Task, key []byte) (uint64, error) {
 
 // SAdd inserts member into key's set, returning 1 if newly added.
 func (s *Store) SAdd(t *kernel.Task, key, member []byte) (int, error) {
+	if len(member) > maxStoreVal {
+		return 0, &StoreError{Kind: ErrValueTooLarge, Op: "sadd", Size: uint64(len(member)), Limit: maxStoreVal}
+	}
 	e, err := s.ensureEntry(t, key, typeSet)
 	if err != nil {
 		return 0, err
@@ -419,7 +517,7 @@ func (s *Store) SAdd(t *kernel.Task, key, member []byte) (int, error) {
 	}
 	const setBuckets = 16
 	if vp == 0 {
-		hd, err := s.arena.Alloc(setBuckets * 8)
+		hd, err := s.arena.Alloc(t, setBuckets*8)
 		if err != nil {
 			return 0, err
 		}
@@ -465,7 +563,7 @@ func (s *Store) SAdd(t *kernel.Task, key, member []byte) (int, error) {
 			return 0, err
 		}
 	}
-	m, err := s.arena.Alloc(24 + uint64(len(member)))
+	m, err := s.arena.Alloc(t, 24+uint64(len(member)))
 	if err != nil {
 		return 0, err
 	}
@@ -485,4 +583,140 @@ func (s *Store) SAdd(t *kernel.Task, key, member []byte) (int, error) {
 		return 0, err
 	}
 	return 1, nil
+}
+
+// fnvFold continues an FNV-1a hash over b.
+func fnvFold(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fnvFoldU64 folds an 8-byte little-endian framing word into the hash, so
+// length fields can't alias adjacent byte content.
+func fnvFoldU64(h, v uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return fnvFold(h, buf[:])
+}
+
+const fnvBasis uint64 = 14695981039346656037
+
+// Digest folds every entry's canonical hash into an order-independent sum,
+// so two stores holding the same logical keyspace digest identically no
+// matter how entries landed in buckets or where the arena placed them.
+// Each entry hashes klen|key|type|content; list content preserves node
+// order (lists are ordered), set content is an inner order-independent sum
+// of member hashes (sets are not). The walk reads through the simulated
+// cache like any other traversal.
+func (s *Store) Digest(t *kernel.Task) (uint64, error) {
+	var sum uint64
+	for i := 0; i < s.nBuckets; i++ {
+		cur, err := t.Load(s.buckets+pgtable.VirtAddr(i*8), 8)
+		if err != nil {
+			return 0, err
+		}
+		for cur != 0 {
+			e := pgtable.VirtAddr(cur)
+			klen, err := t.Load(e+32, 8)
+			if err != nil {
+				return 0, err
+			}
+			key, err := t.ReadBytes(e+entryHdr, int(klen))
+			if err != nil {
+				return 0, err
+			}
+			typ, err := t.Load(e+16, 8)
+			if err != nil {
+				return 0, err
+			}
+			vp, err := t.Load(e+24, 8)
+			if err != nil {
+				return 0, err
+			}
+			h := fnvFoldU64(fnvBasis, klen)
+			h = fnvFold(h, key)
+			h = fnvFoldU64(h, typ)
+			h, err = s.digestValue(t, h, typ, vp)
+			if err != nil {
+				return 0, err
+			}
+			sum += h
+			cur, err = t.Load(e+8, 8)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return sum, nil
+}
+
+// digestValue hashes one entry's content per its type.
+func (s *Store) digestValue(t *kernel.Task, h, typ, vp uint64) (uint64, error) {
+	if vp == 0 {
+		return fnvFoldU64(h, 0), nil
+	}
+	switch typ {
+	case typeString:
+		n, err := t.Load(pgtable.VirtAddr(vp), 8)
+		if err != nil {
+			return 0, err
+		}
+		val, err := t.ReadBytes(pgtable.VirtAddr(vp)+8, int(n))
+		if err != nil {
+			return 0, err
+		}
+		return fnvFold(fnvFoldU64(h, n), val), nil
+	case typeList:
+		cur, err := t.Load(pgtable.VirtAddr(vp), 8) // head
+		if err != nil {
+			return 0, err
+		}
+		for cur != 0 {
+			node := pgtable.VirtAddr(cur)
+			ln, err := t.Load(node+16, 8)
+			if err != nil {
+				return 0, err
+			}
+			payload, err := t.ReadBytes(node+24, int(ln))
+			if err != nil {
+				return 0, err
+			}
+			h = fnvFold(fnvFoldU64(h, ln), payload)
+			cur, err = t.Load(node+8, 8) // next
+			if err != nil {
+				return 0, err
+			}
+		}
+		return h, nil
+	case typeSet:
+		const setBuckets = 16
+		var inner uint64
+		for i := 0; i < setBuckets; i++ {
+			cur, err := t.Load(pgtable.VirtAddr(vp)+pgtable.VirtAddr(i*8), 8)
+			if err != nil {
+				return 0, err
+			}
+			for cur != 0 {
+				m := pgtable.VirtAddr(cur)
+				mlen, err := t.Load(m+16, 8)
+				if err != nil {
+					return 0, err
+				}
+				mb, err := t.ReadBytes(m+24, int(mlen))
+				if err != nil {
+					return 0, err
+				}
+				inner += fnvFold(fnvFoldU64(fnvBasis, mlen), mb)
+				cur, err = t.Load(m+8, 8)
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		return fnvFoldU64(h, inner), nil
+	}
+	return fnvFoldU64(h, typ), nil
 }

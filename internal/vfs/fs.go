@@ -38,6 +38,8 @@ type Inode struct {
 	name     string
 	parent   *Inode
 	children map[string]*Inode
+	// appendBusy is the inode's append lock (see LockAppend).
+	appendBusy bool
 }
 
 // RootIno is the root directory's inode number.

@@ -120,8 +120,13 @@ func (c *FusedCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.
 }
 
 // Sync implements PageCache: shared memory is authoritative, so there is
-// nothing to flush — the fused design's whole point.
-func (c *FusedCache) Sync(pt *hw.Port, ino *Inode) error { return nil }
+// nothing to flush — the fused design's whole point. The call itself is
+// still counted, so persistence workloads can prove their fsync policy
+// ran under both regimes.
+func (c *FusedCache) Sync(pt *hw.Port, ino *Inode) error {
+	c.stats.Syncs[pt.Node]++
+	return nil
+}
 
 // Drop implements PageCache: unmap every task mapping on both nodes and
 // free the frames. No messages — the fused kernel writes the other node's

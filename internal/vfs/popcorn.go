@@ -238,6 +238,7 @@ func (c *PopcornCache) invalidatePeer(pt *hw.Port, ino *Inode, idx int64, pg *pc
 func (c *PopcornCache) Sync(pt *hw.Port, ino *Inode) error {
 	n := pt.Node
 	home := ino.Home
+	c.stats.Syncs[n]++
 	for _, idx := range c.perIno[ino.Ino] {
 		k := pageKey{ino.Ino, idx}
 		pg := c.pages[k]

@@ -106,6 +106,10 @@ type Stats struct {
 	// MetaRPCs counts namespace operations (create/unlink/lookup
 	// replication) forwarded between kernels in the popcorn regime.
 	MetaRPCs int64
+	// Syncs counts fsync calls per calling node — in both regimes, so a
+	// persistence workload can prove its flush policy ran even where the
+	// fused flush itself is free.
+	Syncs [2]int64
 	// MsgCycles accumulates, per requesting node, the simulated cycles
 	// spent inside coherence and namespace RPCs.
 	MsgCycles [2]sim.Cycles
@@ -160,3 +164,20 @@ func lockPage(pt *hw.Port, busy map[pageKey]bool, k pageKey) {
 }
 
 func unlockPage(busy map[pageKey]bool, k pageKey) { delete(busy, k) }
+
+// LockAppend serializes append-mode writers on one inode. A write syscall
+// reads end-of-file and then writes there; in the popcorn regime the write
+// can block mid-transfer on page RPCs, opening a window where a second
+// appender reads the same end-of-file and the records tear. Same idiom as
+// lockPage: the engine's execution token serializes the flag accesses, the
+// spin serializes the appenders in simulated time.
+func (ino *Inode) LockAppend(pt *hw.Port) {
+	for ino.appendBusy {
+		pt.T.Advance(busySpinCost)
+		pt.T.YieldPoint()
+	}
+	ino.appendBusy = true
+}
+
+// UnlockAppend releases LockAppend.
+func (ino *Inode) UnlockAppend() { ino.appendBusy = false }
