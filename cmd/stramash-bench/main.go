@@ -61,6 +61,7 @@ func main() {
 	hostprocs := flag.Int("hostprocs", 0, "concurrent machine runs within pooled experiments (0 = leave at 1)")
 	engineStats := flag.Bool("engine-stats", false, "capture per-run engine driver counters into the -json report (driver-dependent; experiments that support it)")
 	workerStats := flag.Bool("worker-stats", false, "include per-worker counters (worker ops, futex waits, fsync batches) in the metrics of experiments that run the production redis server")
+	tenantStats := flag.Bool("tenant-stats", false, "include per-tenant capability counters (caps checked, denials, revocations, frames and cache frames charged, quota hits) in the metrics of multi-tenant experiments")
 	flag.Parse()
 
 	eng, err := machine.ParseEngine(*engineFlag)
@@ -77,8 +78,9 @@ func main() {
 	if *hostprocs > 0 {
 		experiments.HostProcs = *hostprocs
 	}
-	experiments.CollectEngineStats = *engineStats
-	experiments.CollectWorkerStats = *workerStats
+	experiments.SetStatGate(experiments.GateEngine, *engineStats)
+	experiments.SetStatGate(experiments.GateWorker, *workerStats)
+	experiments.SetStatGate(experiments.GateTenant, *tenantStats)
 
 	if *list {
 		for _, s := range experiments.All() {

@@ -70,6 +70,8 @@ func main() {
 	prodRegime := flag.String("prod-regime", "fused", "production AOF page-cache regime: fused or popcorn")
 	prodCores := flag.Int("prod-cores", 2, "production server cores per node (2x workers)")
 	prodReqs := flag.Int("prod-requests", 200, "requests for the -prod benchmark")
+	tenants := flag.Int("tenants", 0, "boot one multi-tenant machine with N tenants under the capability layer and gate on the isolation claims")
+	tenantsRegime := flag.String("tenants-regime", "fused", "page-cache regime for the -tenants machine: fused or popcorn")
 	engineFlag := flag.String("engine", "auto", "simulation driver: seq, par (epoch-barriered host-parallel) or auto (seq)")
 	epochFlag := flag.Int64("epoch", 0, "parallel driver epoch length in simulated cycles (0 = default)")
 	flag.Parse()
@@ -97,6 +99,13 @@ func main() {
 		regime, err := parseRegime(*prodRegime)
 		fatal(err)
 		fatal(runProd(kind, regime, *prodCores, *prodReqs))
+		return
+	}
+
+	if *tenants > 0 {
+		regime, err := parseRegime(*tenantsRegime)
+		fatal(err)
+		fatal(runTenants(*tenants, regime))
 		return
 	}
 

@@ -1,0 +1,294 @@
+package cap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCapErrorMessages pins the error format for each failure class, the
+// way machine's ConfigError and redisapp's StoreError tests do.
+func TestCapErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		err  *CapError
+		want string
+	}{
+		{"denied", &CapError{Op: "open", Tenant: "noisy", Reason: Denied, Detail: "/victim/db"},
+			"cap: open: tenant noisy: denied: /victim/db"},
+		{"revoked", &CapError{Op: "read", Tenant: "noisy", ID: 7, Reason: Revoked, Detail: "/noisy/"},
+			"cap: read: tenant noisy: revoked (cap 7): /noisy/"},
+		{"budget", &CapError{Op: "map-frame", Tenant: "hog", Reason: BudgetExhausted, Detail: "frames 8/8"},
+			"cap: map-frame: tenant hog: budget-exhausted: frames 8/8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.err.Error(); got != tc.want {
+				t.Fatalf("Error() = %q, want %q", got, tc.want)
+			}
+			var ce *CapError
+			if !errors.As(error(tc.err), &ce) {
+				t.Fatal("errors.As failed to recover *CapError")
+			}
+		})
+	}
+}
+
+func TestGrantCheckFind(t *testing.T) {
+	tb := NewTable()
+	ns := NewNamespace()
+	a := ns.NewTenant("a", Budget{})
+	b := ns.NewTenant("b", Budget{})
+	fa := tb.Grant(a, File, "/a/")
+	sa := tb.Grant(a, Sock, "")
+
+	if err := tb.Check(a, fa, File, "open"); err != nil {
+		t.Fatalf("own live cap check failed: %v", err)
+	}
+	// Wrong tenant, wrong kind, unknown ID: all deny.
+	for name, err := range map[string]error{
+		"wrong-tenant": tb.Check(b, fa, File, "open"),
+		"wrong-kind":   tb.Check(a, fa, Sock, "listen"),
+		"unknown":      tb.Check(a, 99, File, "open"),
+		"zero":         tb.Check(a, 0, File, "open"),
+	} {
+		var ce *CapError
+		if !errors.As(err, &ce) || ce.Reason != Denied {
+			t.Fatalf("%s: want Denied *CapError, got %v", name, err)
+		}
+	}
+
+	// Find honors the path-prefix scope and kind, in grant order.
+	if id, ok := tb.Find(a, File, "/a/db"); !ok || id != fa {
+		t.Fatalf("Find(/a/db) = %d, %v; want %d, true", id, ok, fa)
+	}
+	if _, ok := tb.Find(a, File, "/b/db"); ok {
+		t.Fatal("Find crossed a scope boundary")
+	}
+	if _, ok := tb.Find(b, File, "/a/db"); ok {
+		t.Fatal("Find crossed a tenant boundary")
+	}
+	if id, ok := tb.Find(a, Sock, ""); !ok || id != sa {
+		t.Fatalf("Find(sock) = %d, %v; want %d, true", id, ok, sa)
+	}
+}
+
+func TestDeriveAndRevokeSubtree(t *testing.T) {
+	tb := NewTable()
+	ns := NewNamespace()
+	a := ns.NewTenant("a", Budget{})
+	root := tb.Grant(a, File, "/a/")
+	fd1, err := tb.Derive(root, File, "/a/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := tb.Derive(root, File, "/a/y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := tb.Derive(fd1, File, "/a/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := tb.Revoke(root)
+	want := []CapID{root, fd1, grand, fd2}
+	if len(got) != len(want) {
+		t.Fatalf("Revoke returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Revoke order %v, want preorder %v", got, want)
+		}
+	}
+	for _, id := range want {
+		if tb.Live(id) {
+			t.Fatalf("cap %d still live after subtree revoke", id)
+		}
+		err := tb.Check(a, id, File, "read")
+		var ce *CapError
+		if !errors.As(err, &ce) || ce.Reason != Revoked {
+			t.Fatalf("cap %d: want Revoked, got %v", id, err)
+		}
+	}
+	// Idempotent; deriving from the dead parent fails typed.
+	if again := tb.Revoke(root); again != nil {
+		t.Fatalf("second revoke returned %v, want nil", again)
+	}
+	if _, err := tb.Derive(root, File, "/a/z"); err == nil {
+		t.Fatal("Derive from a revoked parent succeeded")
+	}
+}
+
+func TestBudgetsAndRootNil(t *testing.T) {
+	// The root tenant: every operation is an allow/no-op.
+	var root *Tenant
+	if err := root.ChargeFrames(1 << 40); err != nil {
+		t.Fatalf("root frame charge failed: %v", err)
+	}
+	if err := root.ChargeCache(1 << 40); err != nil {
+		t.Fatalf("root cache charge failed: %v", err)
+	}
+	root.UnchargeFrames(1)
+	root.UnchargeCache(1)
+	if root.Share() != 100 || root.FramesInUse() != 0 || root.CacheInUse() != 0 {
+		t.Fatal("root gauges are not the identity")
+	}
+
+	ten := &Tenant{Name: "t", Budget: Budget{Frames: 2, CacheFrames: 1, CPUShare: 25}}
+	if ten.Share() != 25 {
+		t.Fatalf("Share() = %d, want 25", ten.Share())
+	}
+	if err := ten.ChargeFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	err := ten.ChargeFrames(1)
+	var ce *CapError
+	if !errors.As(err, &ce) || ce.Reason != BudgetExhausted {
+		t.Fatalf("over-budget charge: want BudgetExhausted, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "frames 2/2") {
+		t.Fatalf("budget error does not name the gauge: %v", err)
+	}
+	ten.UnchargeFrames(1)
+	if err := ten.ChargeFrames(1); err != nil {
+		t.Fatalf("charge after uncharge failed: %v", err)
+	}
+	if ten.Stats.QuotaHits != 1 || ten.Stats.FramesCharged != 3 {
+		t.Fatalf("stats = %+v, want 1 quota hit, 3 frames charged", ten.Stats)
+	}
+	if err := ten.ChargeCache(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.ChargeCache(1); err == nil {
+		t.Fatal("cache charge past budget succeeded")
+	}
+}
+
+// FuzzCapTable drives grant/derive/check/revoke sequences against a
+// map-based oracle, including the revoke-while-blocked shape: ops can
+// "block" on a live cap, and a revoke must report exactly the blocked
+// caps inside its subtree so the kernel can cancel those waiters.
+func FuzzCapTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 1, 1, 3, 0, 3, 1, 2, 0, 2, 1})
+	f.Add([]byte{0, 10, 1, 0, 4, 1, 3, 0, 1, 1, 4, 2, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable()
+		ns := NewNamespace()
+		tens := []*Tenant{ns.NewTenant("t0", Budget{}), ns.NewTenant("t1", Budget{})}
+
+		// Oracle state: flat maps, no derivation tree — children are
+		// tracked by explicit parent edges.
+		type oEntry struct {
+			owner   *Tenant
+			kind    Kind
+			parent  CapID
+			revoked bool
+		}
+		oracle := map[CapID]*oEntry{}
+		var ids []CapID
+		blocked := map[CapID]bool{}
+
+		pick := func(b byte) CapID {
+			if len(ids) == 0 {
+				return 0
+			}
+			return ids[int(b)%len(ids)]
+		}
+		// oracleSubtree computes the live subtree of id by repeated
+		// parent-edge scans (quadratic, but obviously correct).
+		oracleSubtree := func(id CapID) map[CapID]bool {
+			e := oracle[id]
+			if e == nil || e.revoked {
+				return nil
+			}
+			in := map[CapID]bool{id: true}
+			for changed := true; changed; {
+				changed = false
+				for _, cid := range ids {
+					ce := oracle[cid]
+					if !in[cid] && !ce.revoked && in[ce.parent] {
+						in[cid] = true
+						changed = true
+					}
+				}
+			}
+			return in
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%5, data[i+1]
+			switch op {
+			case 0: // grant
+				ten := tens[int(arg)%len(tens)]
+				kind := Kind(int(arg) % int(kindCount))
+				id := tb.Grant(ten, kind, "")
+				if oracle[id] != nil {
+					t.Fatalf("grant reused id %d", id)
+				}
+				oracle[id] = &oEntry{owner: ten, kind: kind}
+				ids = append(ids, id)
+			case 1: // derive
+				parent := pick(arg)
+				pe := oracle[parent]
+				id, err := tb.Derive(parent, File, "")
+				if pe == nil || pe.revoked {
+					if err == nil {
+						t.Fatalf("derive from dead cap %d succeeded", parent)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("derive from live cap %d failed: %v", parent, err)
+				}
+				oracle[id] = &oEntry{owner: pe.owner, kind: File, parent: parent}
+				ids = append(ids, id)
+			case 2: // check liveness against the oracle
+				id := pick(arg)
+				e := oracle[id]
+				wantLive := e != nil && !e.revoked
+				if got := tb.Live(id); got != wantLive {
+					t.Fatalf("Live(%d) = %v, oracle says %v", id, got, wantLive)
+				}
+				if e != nil {
+					err := tb.Check(e.owner, id, e.kind, "fuzz")
+					if wantLive && err != nil {
+						t.Fatalf("Check(%d) = %v on live cap", id, err)
+					}
+					if !wantLive && err == nil {
+						t.Fatalf("Check(%d) passed on revoked cap", id)
+					}
+				}
+			case 3: // block a waiter on a live cap
+				id := pick(arg)
+				if e := oracle[id]; e != nil && !e.revoked {
+					blocked[id] = true
+				}
+			case 4: // revoke, compare subtree and blocked cancellations
+				id := pick(arg)
+				want := oracleSubtree(id)
+				got := tb.Revoke(id)
+				if len(got) != len(want) {
+					t.Fatalf("Revoke(%d) = %v, oracle subtree %v", id, got, want)
+				}
+				for _, rid := range got {
+					if !want[rid] {
+						t.Fatalf("Revoke(%d) included %d, not in oracle subtree %v", id, rid, want)
+					}
+					oracle[rid].revoked = true
+					// The kernel cancels any waiter blocked on a revoked
+					// cap; mirror that here so a blocked cap can never
+					// outlive its revocation.
+					delete(blocked, rid)
+				}
+			}
+		}
+		// Invariant: no surviving blocked registration sits on a dead cap.
+		for id := range blocked {
+			if !tb.Live(id) {
+				t.Fatalf("cap %d is blocked-on but dead without a revoke report", id)
+			}
+		}
+	})
+}

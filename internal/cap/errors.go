@@ -1,0 +1,60 @@
+package cap
+
+import "fmt"
+
+// Reason classifies why a capability operation failed.
+type Reason int
+
+const (
+	// Denied: the tenant holds no live capability covering the object.
+	Denied Reason = iota
+	// Revoked: the handle was bound to a capability that has since been
+	// revoked.
+	Revoked
+	// BudgetExhausted: the operation would push a resource gauge past the
+	// tenant's budget.
+	BudgetExhausted
+)
+
+func (r Reason) String() string {
+	switch r {
+	case Denied:
+		return "denied"
+	case Revoked:
+		return "revoked"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// CapError is the typed error every capability gate returns, following the
+// *machine.ConfigError / *redisapp.StoreError pattern: callers can
+// errors.As for it and branch on Reason, and the message names the tenant
+// and capability so a denial in a multi-tenant run is attributable.
+type CapError struct {
+	// Op is the syscall or charge point that failed ("open", "read",
+	// "futex-wait", "map-frame", "page-cache", ...).
+	Op string
+	// Tenant is the name of the tenant that was denied.
+	Tenant string
+	// ID is the capability handle involved, 0 when the failure predates
+	// any handle (a Denied path lookup or a budget charge).
+	ID CapID
+	// Reason says which of the three failure classes this is.
+	Reason Reason
+	// Detail carries the object or gauge that failed ("/t1/db",
+	// "frames 64/64").
+	Detail string
+}
+
+func (e *CapError) Error() string {
+	s := fmt.Sprintf("cap: %s: tenant %s: %s", e.Op, e.Tenant, e.Reason)
+	if e.ID != 0 {
+		s += fmt.Sprintf(" (cap %d)", e.ID)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}

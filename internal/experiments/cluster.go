@@ -42,7 +42,7 @@ type ClusterRow struct {
 	// NIC holds every machine's device counters, generator first.
 	NIC []net.NICStats
 	// Engine holds the shared engine's driver counters for this cell, when
-	// CollectEngineStats was set. Driver-dependent: never rendered, never
+	// StatGate(GateEngine) was set. Driver-dependent: never rendered, never
 	// in Metrics — exported only through EngineStats (-engine-stats JSON).
 	Engine map[string]int64
 }
@@ -120,7 +120,7 @@ func clusterRun(os machine.OSKind, model mem.Model, servers int, p redisapp.Traf
 	for m := range cl.Machines {
 		row.NIC = append(row.NIC, cl.NICStats(m))
 	}
-	if CollectEngineStats {
+	if StatGate(GateEngine) {
 		row.Engine = cl.EngineStats().Map()
 	}
 	return row, nil
@@ -280,7 +280,7 @@ func (r *ClusterResult) Metrics() map[string]int64 {
 
 // EngineStats implements EngineStatsSource: per-cell driver counters
 // (segment kinds, phase widths, parks) keyed like Metrics. Nil unless the
-// run captured them (CollectEngineStats).
+// run captured them (GateEngine).
 func (r *ClusterResult) EngineStats() map[string]int64 {
 	var m map[string]int64
 	for _, row := range r.Rows {

@@ -20,21 +20,11 @@ type CycleMetrics interface {
 // segments, phase widths, parks). Unlike Metrics these describe the
 // driver, not the simulation: they are deterministic for a fixed driver
 // but legitimately differ between -engine=seq and -engine=par, so they
-// are captured only when CollectEngineStats is set and are kept out of
+// are captured only when StatGate(GateEngine) is set and are kept out of
 // Metrics and the rendered report, which must be engine-independent.
 type EngineStatsSource interface {
 	EngineStats() map[string]int64
 }
-
-// CollectEngineStats makes experiments that support it capture per-run
-// engine driver counters (stramash-bench -engine-stats).
-var CollectEngineStats = false
-
-// CollectWorkerStats makes experiments that run the production redis
-// server emit per-worker counters (worker ops, futex waits, fsync
-// batches) in Metrics (stramash-bench -worker-stats). Off by default so
-// the default Metrics map stays small and stable as worker counts grow.
-var CollectWorkerStats = false
 
 // JSONOutcome is one experiment's record in the -json report.
 type JSONOutcome struct {

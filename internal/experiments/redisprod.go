@@ -43,7 +43,7 @@ type RedisprodRow struct {
 	FS       vfs.Stats
 	Messages int64
 	// Engine holds the cluster engine's driver counters when
-	// CollectEngineStats was set (driver-dependent, never rendered).
+	// StatGate(GateEngine) was set (driver-dependent, never rendered).
 	Engine map[string]int64
 }
 
@@ -124,7 +124,7 @@ func redisprodRun(kind redisapp.KeyspaceKind, regime vfs.Regime, cores int, p re
 		FS:       cl.Machines[1].FileStats(),
 		Messages: cl.Machines[1].Messages(),
 	}
-	if CollectEngineStats {
+	if StatGate(GateEngine) {
 		row.Engine = cl.EngineStats().Map()
 	}
 	return row, nil
@@ -298,7 +298,7 @@ func (r *RedisprodResult) ShapeErrors() []string {
 
 // Metrics implements CycleMetrics: latency, volume and persistence
 // counters per cell; per-worker counters ride along when
-// CollectWorkerStats is set (stramash-bench -worker-stats), keyed by
+// StatGate(GateWorker) is set (stramash-bench -worker-stats), keyed by
 // worker index.
 func (r *RedisprodResult) Metrics() map[string]int64 {
 	m := make(map[string]int64)
@@ -313,7 +313,7 @@ func (r *RedisprodResult) Metrics() map[string]int64 {
 		m["aof_bytes/"+base] = row.Server.AOFFileBytes
 		m["msg_cycles/"+base] = int64(row.FS.TotalMsgCycles())
 		m["messages/"+base] = row.Messages
-		if CollectWorkerStats {
+		if StatGate(GateWorker) {
 			for w, ws := range row.Server.PerWorker {
 				wb := fmt.Sprintf("%s/w%d", base, w)
 				m["worker_ops/"+wb] = ws.Ops

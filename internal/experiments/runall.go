@@ -46,6 +46,7 @@ func Extra() []Spec {
 		{"filesys", func(s Scale) (Result, error) { return Filesys(s) }},
 		{"cluster", func(s Scale) (Result, error) { return Cluster(s) }},
 		{"redisprod", func(s Scale) (Result, error) { return Redisprod(s) }},
+		{"tenants", func(s Scale) (Result, error) { return Tenants(s) }},
 	}
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/cap"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -39,6 +40,9 @@ func (t *Task) Clone(name string, core int, body func(child *Task) error) (*Clon
 	// whole operation (the CloneCost charge below may yield mid-way).
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
+	if _, err := t.capAuthorize(cap.Spawn, "", "clone"); err != nil {
+		return nil, err
+	}
 	if t.Sched != nil {
 		if core < 0 || core >= t.Sched.Cores(t.Node) {
 			return nil, fmt.Errorf("kernel: clone %q onto %v core %d: node has %d cores",

@@ -33,13 +33,29 @@ func MapFrame(ctx *Context, pt *hw.Port, proc *Process, node mem.NodeID, va pgta
 	if err != nil {
 		return 0, err
 	}
+	meta := proc.Meta(va)
+	// Anonymous-frame budget charge point: the page is charged to the
+	// owning tenant exactly when its VA first becomes resident (no node
+	// had it valid). File-backed pages are the page cache's frames and are
+	// charged there; root processes (nil tenant) charge nothing. The check
+	// runs before the table write so a refused charge leaves no mapping —
+	// the personality frees the frame it allocated and surfaces the
+	// *CapError through the fault path.
+	if ten := proc.Ten; ten != nil && !meta.FileBacked && !meta.Valid[0] && !meta.Valid[1] {
+		if err := ten.ChargeFrames(1); err != nil {
+			if tr := ctx.Plat.Tracer; tr != nil {
+				tr.Emit(trace.Event{Cycle: int64(pt.T.Now()), Kind: trace.KindQuotaHit,
+					Node: int8(node), Core: int16(pt.Core), Tid: int32(pt.T.ID), VA: uint64(va)})
+			}
+			return 0, err
+		}
+	}
 	k := ctx.Kernel(node)
 	perms := pgtable.Perms{Present: true, User: true, Write: writable, Accessed: true}
 	created, err := tbl.Map(pt, func() (mem.PhysAddr, error) { return k.AllocTablePage(pt) }, va, uint64(frame>>mem.PageShift), perms)
 	if err != nil {
 		return created, err
 	}
-	meta := proc.Meta(va)
 	meta.Frames[node] = frame
 	meta.Valid[node] = true
 	proc.FlushTLB(node, va)
@@ -54,7 +70,13 @@ func UnmapFrame(pt *hw.Port, proc *Process, node mem.NodeID, va pgtable.VirtAddr
 	}
 	ok := tbl.Unmap(pt, va)
 	if m := proc.MetaIfAny(va); m != nil {
+		was := m.Valid[node]
 		m.Valid[node] = false
+		// Uncharge the tenant when the VA's last residency disappears —
+		// the inverse of MapFrame's first-residency charge.
+		if was && !m.FileBacked && !m.Valid[0] && !m.Valid[1] {
+			proc.Ten.UnchargeFrames(1)
+		}
 	}
 	proc.FlushTLB(node, va)
 	return ok
@@ -182,6 +204,11 @@ func (v *Vanilla) HandleFault(t *Task, va pgtable.VirtAddr, write bool) error {
 	_, err = MapFrame(v.Ctx, t.Port, t.Proc, t.Node, va, frame, writable)
 	t.Th.EndAtomic()
 	if err != nil {
+		// A refused budget charge (or table failure) must not orphan the
+		// frame allocated above.
+		if ferr := k.Alloc.Free(frame); ferr != nil {
+			return ferr
+		}
 		return err
 	}
 	t.Proc.FaultsHandled[t.Node]++
@@ -199,6 +226,12 @@ func (v *Vanilla) FutexWait(t *Task, uaddr pgtable.VirtAddr, expected uint64) er
 	defer t.Th.EndSerial()
 	f := v.Futexes.Get(t.Proc.PID, uaddr)
 	f.Lock(t.Port)
+	if t.CapCancelPending() {
+		// Revoked between the syscall gate and the enqueue: back out as a
+		// spurious wake; the gated wrapper reports the *CapError.
+		f.Unlock(t.Port)
+		return ErrFutexRetry
+	}
 	val, err := FutexLoadValue(v.Ctx, t.Port, t.Proc, uaddr)
 	if err != nil {
 		f.Unlock(t.Port)

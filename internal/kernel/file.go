@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
@@ -61,6 +62,11 @@ func (t *Task) fdFile(fd int) (*vfs.File, error) {
 	if f.Sock != nil {
 		return nil, fmt.Errorf("%w: fd %d is a socket", vfs.ErrInvalid, fd)
 	}
+	// The handle gate: the FD's bound capability must still be live, so a
+	// revoke fails the holder's next file syscall with a typed error.
+	if err := t.capCheckHandle(f.Cap, cap.File, "fd"); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -70,6 +76,10 @@ func (t *Task) OpenFile(path string, flags vfs.OpenFlags) (int, error) {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
 	m, err := t.enterFS()
+	if err != nil {
+		return -1, err
+	}
+	pathCap, err := t.capAuthorize(cap.File, path, "open")
 	if err != nil {
 		return -1, err
 	}
@@ -91,7 +101,11 @@ func (t *Task) OpenFile(path string, flags vfs.OpenFlags) (int, error) {
 			return -1, err
 		}
 	}
-	return t.FDs().Install(&vfs.File{Ino: ino, Flags: flags}), nil
+	fileCap, err := t.deriveCap(pathCap, cap.File, path)
+	if err != nil {
+		return -1, err
+	}
+	return t.FDs().Install(&vfs.File{Ino: ino, Flags: flags, Cap: fileCap}), nil
 }
 
 // CreateFile is open(path, O_RDWR|O_CREAT|O_TRUNC).
@@ -122,6 +136,9 @@ func (t *Task) Mkdir(path string) error {
 	if err != nil {
 		return err
 	}
+	if _, err := t.capAuthorize(cap.File, path, "mkdir"); err != nil {
+		return err
+	}
 	_, err = m.Create(t.Port, path, true)
 	return err
 }
@@ -132,6 +149,9 @@ func (t *Task) UnlinkFile(path string) error {
 	defer t.Th.EndSerial()
 	m, err := t.enterFS()
 	if err != nil {
+		return err
+	}
+	if _, err := t.capAuthorize(cap.File, path, "unlink"); err != nil {
 		return err
 	}
 	return m.Unlink(t.Port, path)
@@ -152,7 +172,7 @@ func (t *Task) ReadFileAt(fd int, p []byte, off int64) (int, error) {
 	if f.Flags&vfs.ORead == 0 {
 		return 0, fmt.Errorf("%w: fd %d not open for reading", vfs.ErrPerm, fd)
 	}
-	n, err := m.ReadAt(t.Port, f.Ino, p, off)
+	n, err := m.ReadAt(t.Port, t.Proc.Ten, f.Ino, p, off)
 	t.Stats.FileReadBytes += int64(n)
 	return n, err
 }
@@ -172,7 +192,7 @@ func (t *Task) WriteFileAt(fd int, p []byte, off int64) (int, error) {
 	if f.Flags&vfs.OWrite == 0 {
 		return 0, fmt.Errorf("%w: fd %d not open for writing", vfs.ErrPerm, fd)
 	}
-	n, err := m.WriteAt(t.Port, f.Ino, p, off)
+	n, err := m.WriteAt(t.Port, t.Proc.Ten, f.Ino, p, off)
 	t.Stats.FileWriteBytes += int64(n)
 	return n, err
 }
@@ -304,7 +324,7 @@ func FileFaultIn(t *Task, v *VMA, va pgtable.VirtAddr, write bool) error {
 	if inode == nil {
 		return fmt.Errorf("kernel: file-backed vma %v names dead inode %d", v, v.FileIno)
 	}
-	frame, err := m.Cache.Frame(t.Port, inode, idx, write)
+	frame, err := m.Cache.Frame(t.Port, t.Proc.Ten, inode, idx, write)
 	if err != nil {
 		return err
 	}

@@ -85,9 +85,12 @@ func (f *Futex) Unlock(pt *hw.Port) {
 }
 
 // Enqueue appends t to the waiter list, charging the list update. The
-// caller holds the control lock.
+// caller holds the control lock. The task's futexOn backlink lets
+// RevokeCap find (and cancel) a waiter blocked under a revoked
+// capability.
 func (f *Futex) Enqueue(pt *hw.Port, t *Task) {
 	f.waiters = append(f.waiters, t)
+	t.futexOn = f
 	pt.Write64(f.Control+8, uint64(len(f.waiters)))
 }
 
@@ -99,8 +102,27 @@ func (f *Futex) Dequeue(pt *hw.Port, n int) []*Task {
 	}
 	out := f.waiters[:n]
 	f.waiters = append([]*Task(nil), f.waiters[n:]...)
+	for _, t := range out {
+		t.futexOn = nil
+	}
 	pt.Write64(f.Control+8, uint64(len(f.waiters)))
 	return out
+}
+
+// Remove deletes one specific waiter from the list, charging the list
+// update; it reports whether t was enqueued. The caller holds the control
+// lock. This is the cancellation path: RevokeCap dequeues a waiter whose
+// capability died so its wake-up is a typed error, not a futex wake.
+func (f *Futex) Remove(pt *hw.Port, t *Task) bool {
+	for i, w := range f.waiters {
+		if w == t {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			t.futexOn = nil
+			pt.Write64(f.Control+8, uint64(len(f.waiters)))
+			return true
+		}
+	}
+	return false
 }
 
 // Waiters returns the current waiter count.

@@ -14,6 +14,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/net"
@@ -131,10 +132,41 @@ type Context struct {
 	// Net is the machine's transport endpoint on a cluster fabric (nil on
 	// standalone machines; socket syscalls fail cleanly without it).
 	Net *net.Stack
+	// Caps is the machine's tenancy namespace: the capability table plus
+	// the configured tenants. Nil on single-tenant machines, where every
+	// process runs as root and the gates cost one nil check.
+	Caps *cap.Namespace
 
 	// fileMaps is the reverse map from file pages to task mappings, fed by
 	// FileFaultIn and consumed by FileInvalidateHook (file.go).
 	fileMaps map[fileMapKey][]fileMapping
+
+	// capBlocked registers tasks blocked inside a gated syscall, keyed by
+	// the capability that authorized the block. RevokeCap walks it to
+	// cancel mid-blocking waiters; all mutation happens under the serial
+	// token (invariant 14). Slices keep registration order deterministic.
+	capBlocked map[cap.CapID][]*Task
+}
+
+// capBlock registers t as blocked under capability id. Caller holds the
+// serial token.
+func (c *Context) capBlock(id cap.CapID, t *Task) {
+	if c.capBlocked == nil {
+		c.capBlocked = make(map[cap.CapID][]*Task)
+	}
+	c.capBlocked[id] = append(c.capBlocked[id], t)
+}
+
+// capUnblock removes t's registration under id. Caller holds the serial
+// token.
+func (c *Context) capUnblock(id cap.CapID, t *Task) {
+	ts := c.capBlocked[id]
+	for i, bt := range ts {
+		if bt == t {
+			c.capBlocked[id] = append(ts[:i], ts[i+1:]...)
+			return
+		}
+	}
 }
 
 // Kernel returns the kernel instance of a node.

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/cap"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/vfs"
@@ -63,7 +64,11 @@ type PageMeta struct {
 type Process struct {
 	PID    int
 	Origin mem.NodeID
-	VMAs   VMATree
+	// Ten is the tenant owning the process; nil is the root tenant, for
+	// which every capability gate is a single host-side nil check
+	// (observer-effect-free, like the nil tracer).
+	Ten  *cap.Tenant
+	VMAs VMATree
 	// Tables are the per-node page tables (nil until first used there).
 	Tables [2]*pgtable.Table
 	// Pages maps page-aligned VAs to their metadata.

@@ -309,28 +309,48 @@ func (s *Scheduler) releaseCPU(t *Task, cpu *CPU) {
 	}
 }
 
+// quantumFor returns the round-robin slice for t: the machine quantum
+// scaled by the owning tenant's CPU share (Budget.CPUShare, in percent).
+// Root tasks take the unscaled quantum through a single nil check, so
+// single-tenant machines time-slice cycle-for-cycle as before — this
+// scaling is how a noisy tenant's run-queue pressure is bounded: its
+// tasks hold a contended CPU for a fraction of the slice a full-share
+// tenant's tasks get.
+func (s *Scheduler) quantumFor(t *Task) int64 {
+	ten := t.Proc.Ten
+	if ten == nil {
+		return s.Quantum
+	}
+	q := s.Quantum * int64(ten.Share()) / 100
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
 // maybePreempt is the preemption hook installed on every strictly scheduled
 // task's thread: at each yield point it checks whether the current slice
-// expired — Quantum retired instructions, or the cycle backstop for
-// instruction-free spin loops — and whether anyone is waiting; if both, the
-// task round-robins to the back of the run queue.
+// expired — the task's quantum in retired instructions, or the cycle
+// backstop for instruction-free spin loops — and whether anyone is
+// waiting; if both, the task round-robins to the back of the run queue.
 func (s *Scheduler) maybePreempt(t *Task) {
 	if t.State != TaskRunning || t.cpu == nil {
 		return
 	}
 	cpu := t.cpu
+	quantum := s.quantumFor(t)
 	if len(cpu.queue) == 0 {
 		// No competition: extend the slice in place (a real tick would
 		// also leave the sole runnable task on the CPU).
-		if t.instrTotal()-t.sliceInstr >= s.Quantum ||
-			t.Th.Now()-t.sliceStart >= sim.Cycles(s.Quantum*backstopFactor) {
+		if t.instrTotal()-t.sliceInstr >= quantum ||
+			t.Th.Now()-t.sliceStart >= sim.Cycles(quantum*backstopFactor) {
 			t.sliceInstr = t.instrTotal()
 			t.sliceStart = t.Th.Now()
 		}
 		return
 	}
-	if t.instrTotal()-t.sliceInstr < s.Quantum &&
-		t.Th.Now()-t.sliceStart < sim.Cycles(s.Quantum*backstopFactor) {
+	if t.instrTotal()-t.sliceInstr < quantum &&
+		t.Th.Now()-t.sliceStart < sim.Cycles(quantum*backstopFactor) {
 		return
 	}
 	cpu.Preemptions++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cap"
 	"repro/internal/net"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -51,42 +52,76 @@ func (t *Task) enterSock() (*net.Stack, func(), error) {
 	return s, end, nil
 }
 
-// fdSock resolves fd to a socket description, rejecting regular files. The
+// fdSock resolves fd to a socket description, rejecting regular files and
+// checking the descriptor's bound capability (the per-handle gate). The
 // descriptor table is process-wide state shared by sibling tasks on any
 // node, so table lookups take the global token even when the stack itself
-// is claimed.
-func (t *Task) fdSock(fd int) (*sockFD, error) {
+// is claimed. The returned CapID is the handle capability (0 for root),
+// which blocking syscalls register their waits under.
+func (t *Task) fdSock(fd int) (*sockFD, cap.CapID, error) {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
 	f, err := t.FDs().Get(fd)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sk, ok := f.Sock.(*sockFD)
 	if !ok {
-		return nil, fmt.Errorf("%w: fd %d is not a socket", vfs.ErrInvalid, fd)
+		return nil, 0, fmt.Errorf("%w: fd %d is not a socket", vfs.ErrInvalid, fd)
 	}
-	return sk, nil
+	if err := t.capCheckHandle(f.Cap, cap.Sock, "sock-fd"); err != nil {
+		return nil, 0, err
+	}
+	return sk, f.Cap, nil
 }
 
-// installSock installs a socket descriptor under the global token (the FD
-// table is shared process state; Install may grow the backing slice).
-func (t *Task) installSock(sk *sockFD) int {
+// installSock installs a socket descriptor bound to its handle capability
+// under the global token (the FD table is shared process state; Install
+// may grow the backing slice).
+func (t *Task) installSock(sk *sockFD, id cap.CapID) int {
 	t.Th.BeginSerial()
 	defer t.Th.EndSerial()
-	return t.FDs().Install(&vfs.File{Sock: sk})
+	return t.FDs().Install(&vfs.File{Sock: sk, Cap: id})
 }
 
 // sockConn resolves fd to a connection endpoint, rejecting listeners.
-func (t *Task) sockConn(fd int) (*net.Conn, error) {
-	sk, err := t.fdSock(fd)
+func (t *Task) sockConn(fd int) (*net.Conn, cap.CapID, error) {
+	sk, id, err := t.fdSock(fd)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if sk.conn == nil {
-		return nil, fmt.Errorf("%w: fd %d is a listening socket", vfs.ErrInvalid, fd)
+		return nil, 0, fmt.Errorf("%w: fd %d is a listening socket", vfs.ErrInvalid, fd)
 	}
-	return sk.conn, nil
+	return sk.conn, id, nil
+}
+
+// sockBlockBegin registers the task as blocked under its handle capability
+// for the duration of a blocking socket syscall, so RevokeCap can cancel
+// a mid-sleep waiter. sockBlockEnd deregisters and converts a delivered
+// cancellation into the typed error. Both are free for root tasks.
+func (t *Task) sockBlockBegin(id cap.CapID) {
+	if t.Proc.Ten == nil {
+		return
+	}
+	t.Th.BeginSerial()
+	t.Ctx.capBlock(id, t)
+	t.Th.EndSerial()
+}
+
+func (t *Task) sockBlockEnd(id cap.CapID, op string) error {
+	if t.Proc.Ten == nil {
+		return nil
+	}
+	t.Th.BeginSerial()
+	t.Ctx.capUnblock(id, t)
+	cancelled := t.capCancel
+	t.capCancel = false
+	t.Th.EndSerial()
+	if cancelled {
+		return &cap.CapError{Op: op, Tenant: t.Proc.Ten.Name, ID: id, Reason: cap.Revoked}
+	}
+	return nil
 }
 
 // sockWait blocks the task until cond holds, following the futex
@@ -104,6 +139,11 @@ func (t *Task) sockConn(fd int) (*net.Conn, error) {
 // serially before any domain runs past it.
 func (t *Task) sockWait(s *net.Stack, cond func() bool) {
 	for {
+		if t.capCancel {
+			// A revocation cancelled this wait; the syscall's sockBlockEnd
+			// turns the flag into the typed error.
+			return
+		}
 		s.PollRx(t.Port)
 		if cond() {
 			return
@@ -119,7 +159,17 @@ func (t *Task) sockWait(s *net.Stack, cond func() bool) {
 			return
 		}
 		t.Th.BeginSerial()
+		if t.capCancel {
+			// Revoked between the registration and the sleep: back out
+			// without sleeping (the serial token orders this against the
+			// revoker, so the cancel wake cannot be lost).
+			s.RemoveWaiter(t)
+			t.Th.EndSerial()
+			return
+		}
+		t.sockSleeping = true
 		t.Sleep("sock-wait")
+		t.sockSleeping = false
 		s.RemoveWaiter(t)
 		t.Th.EndSerial()
 	}
@@ -134,11 +184,19 @@ func (t *Task) SocketListen(port uint16) (int, error) {
 		return -1, err
 	}
 	defer end()
+	grant, err := t.capAuthorize(cap.Sock, "", "listen")
+	if err != nil {
+		return -1, err
+	}
 	l, err := s.Listen(port)
 	if err != nil {
 		return -1, err
 	}
-	return t.installSock(&sockFD{ln: l}), nil
+	id, err := t.deriveCap(grant, cap.Sock, fmt.Sprintf("listen:%d", port))
+	if err != nil {
+		return -1, err
+	}
+	return t.installSock(&sockFD{ln: l}, id), nil
 }
 
 // TrySocketAccept dequeues a handshake-complete connection from the
@@ -149,7 +207,7 @@ func (t *Task) TrySocketAccept(lfd int) (int, error) {
 		return -1, err
 	}
 	defer end()
-	sk, err := t.fdSock(lfd)
+	sk, lcap, err := t.fdSock(lfd)
 	if err != nil {
 		return -1, err
 	}
@@ -161,7 +219,11 @@ func (t *Task) TrySocketAccept(lfd int) (int, error) {
 	if c == nil {
 		return -1, nil
 	}
-	return t.installSock(&sockFD{conn: c}), nil
+	id, err := t.deriveCap(lcap, cap.Sock, "accepted")
+	if err != nil {
+		return -1, err
+	}
+	return t.installSock(&sockFD{conn: c}, id), nil
 }
 
 // SocketAccept blocks until a connection completes its handshake on the
@@ -172,19 +234,27 @@ func (t *Task) SocketAccept(lfd int) (int, error) {
 		return -1, err
 	}
 	defer end()
-	sk, err := t.fdSock(lfd)
+	sk, lcap, err := t.fdSock(lfd)
 	if err != nil {
 		return -1, err
 	}
 	if sk.ln == nil {
 		return -1, fmt.Errorf("%w: fd %d is not listening", vfs.ErrInvalid, lfd)
 	}
+	t.sockBlockBegin(lcap)
 	var c *net.Conn
 	t.sockWait(s, func() bool {
 		c = sk.ln.TryAccept()
 		return c != nil
 	})
-	return t.installSock(&sockFD{conn: c}), nil
+	if err := t.sockBlockEnd(lcap, "accept"); err != nil {
+		return -1, err
+	}
+	id, err := t.deriveCap(lcap, cap.Sock, "accepted")
+	if err != nil {
+		return -1, err
+	}
+	return t.installSock(&sockFD{conn: c}, id), nil
 }
 
 // SocketConnect actively opens a connection to a remote machine's port,
@@ -195,13 +265,25 @@ func (t *Task) SocketConnect(to net.Addr) (int, error) {
 		return -1, err
 	}
 	defer end()
+	grant, err := t.capAuthorize(cap.Sock, "", "connect")
+	if err != nil {
+		return -1, err
+	}
 	c := s.Dial(t.Port, to)
+	t.sockBlockBegin(grant)
 	t.sockWait(s, func() bool { return c.State() != net.StateSynSent })
+	if err := t.sockBlockEnd(grant, "connect"); err != nil {
+		return -1, err
+	}
 	if c.State() != net.StateEstablished {
 		return -1, fmt.Errorf("kernel: connect to mach %d port %d failed (%v)",
 			to.Mach, to.Port, c.State())
 	}
-	return t.installSock(&sockFD{conn: c}), nil
+	id, err := t.deriveCap(grant, cap.Sock, fmt.Sprintf("conn:%d", to.Port))
+	if err != nil {
+		return -1, err
+	}
+	return t.installSock(&sockFD{conn: c}, id), nil
 }
 
 // SendSock writes all of p to the connection, blocking on flow-control
@@ -215,27 +297,32 @@ func (t *Task) SendSock(fd int, p []byte) (int, error) {
 		return 0, err
 	}
 	defer end()
-	c, err := t.sockConn(fd)
+	c, id, err := t.sockConn(fd)
 	if err != nil {
 		return 0, err
 	}
 	start := t.Th.Now()
+	t.sockBlockBegin(id)
 	sent := 0
 	for sent < len(p) {
 		n := c.TrySend(t.Port, p[sent:])
 		sent += n
 		s.PollRx(t.Port)
-		if sent == len(p) {
+		if sent == len(p) || t.capCancel {
 			break
 		}
 		if n == 0 {
 			if c.State() != net.StateEstablished {
+				_ = t.sockBlockEnd(id, "send") // transport error takes precedence
 				return sent, fmt.Errorf("kernel: send on %v connection", c.State())
 			}
 			t.sockWait(s, func() bool {
 				return c.Credit() > 0 || c.State() != net.StateEstablished
 			})
 		}
+	}
+	if err := t.sockBlockEnd(id, "send"); err != nil {
+		return sent, err
 	}
 	t.Stats.SockSendBytes += int64(sent)
 	if tr := t.Ctx.Plat.Tracer; tr != nil {
@@ -255,14 +342,18 @@ func (t *Task) RecvSock(fd int, max int) ([]byte, error) {
 		return nil, err
 	}
 	defer end()
-	c, err := t.sockConn(fd)
+	c, id, err := t.sockConn(fd)
 	if err != nil {
 		return nil, err
 	}
 	start := t.Th.Now()
+	t.sockBlockBegin(id)
 	t.sockWait(s, func() bool {
 		return c.Buffered() > 0 || c.EOF() || c.State() == net.StateClosed
 	})
+	if err := t.sockBlockEnd(id, "recv"); err != nil {
+		return nil, err
+	}
 	if c.Buffered() == 0 {
 		return nil, io.EOF
 	}
@@ -284,7 +375,7 @@ func (t *Task) TryRecvSock(fd int, max int) ([]byte, error) {
 		return nil, err
 	}
 	defer end()
-	c, err := t.sockConn(fd)
+	c, _, err := t.sockConn(fd)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +406,7 @@ func (t *Task) CloseSock(fd int) error {
 		return err
 	}
 	defer end()
-	sk, err := t.fdSock(fd)
+	sk, _, err := t.fdSock(fd)
 	if err != nil {
 		return err
 	}
@@ -335,7 +426,7 @@ func (t *Task) CloseSock(fd int) error {
 
 // SockState returns the connection state behind fd (diagnostics/tests).
 func (t *Task) SockState(fd int) (net.ConnState, error) {
-	c, err := t.sockConn(fd)
+	c, _, err := t.sockConn(fd)
 	if err != nil {
 		return 0, err
 	}
@@ -352,6 +443,9 @@ func (t *Task) SockState(fd int) (net.ConnState, error) {
 func (t *Task) ClaimNet() error {
 	s, err := t.netStack()
 	if err != nil {
+		return err
+	}
+	if _, err := t.capAuthorize(cap.Net, "", "claim-net"); err != nil {
 		return err
 	}
 	s.Claim(t.Th)

@@ -82,6 +82,16 @@ type Task struct {
 	// fds is the task's open-file descriptor table, nil until first use.
 	fds *vfs.FDTable
 
+	// futexOn points at the futex this task is currently enqueued on, and
+	// sockSleeping marks it asleep inside sockWait. Both are maintained
+	// while the serial token is held; RevokeCap consults them to cancel a
+	// mid-blocking waiter of a revoked capability. capCancel is the
+	// cancellation flag RevokeCap sets; the blocking syscall converts it
+	// into a Revoked *CapError when it resumes (invariant 14).
+	futexOn      *Futex
+	sockSleeping bool
+	capCancel    bool
+
 	// fcache is the task-private frame cache for the parallel engine's
 	// domain-local access path, which must not touch Physical's shared
 	// last-frame cache.

@@ -144,5 +144,8 @@ func (c *Config) Validate() error {
 			return &ConfigError{Field: "ClockHz", Value: c.ClockHz[n], Reason: "must not be negative"}
 		}
 	}
+	if err := validateTenants(c.Tenants); err != nil {
+		return err
+	}
 	return nil
 }

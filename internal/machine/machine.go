@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/interconnect"
 	"repro/internal/kernel"
@@ -134,6 +135,13 @@ type Config struct {
 	// NIC overrides the NIC ring geometry (zero selects
 	// net.DefaultNICConfig). Ignored without Fabric.
 	NIC net.NICConfig
+	// Tenants, when non-empty, boots the machine multi-tenant: a
+	// capability namespace is built with one tenant per spec and every
+	// privileged syscall a tenant task makes is checked against its
+	// grants and budgets. Machines without tenants keep the root fast
+	// path — ctx.Caps stays nil and the gates cost one nil check and
+	// zero simulated cycles.
+	Tenants []TenantSpec
 }
 
 // reservedLow is the per-node reservation for kernel image, memmap, and
@@ -221,6 +229,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	ctx.Kernels = [2]*kernel.Kernel{x86k, armk}
 	m.Ctx = ctx
+	m.buildTenants()
 	m.Sched = kernel.NewScheduler(ctx, cfg.Sched, cfg.SchedQuantum)
 
 	// Initialize the messaging layer and the personality inside a boot
@@ -400,6 +409,9 @@ type TaskSpec struct {
 	Body func(t *kernel.Task) error
 	// KeepAlive skips the automatic Exit (page teardown) after Body.
 	KeepAlive bool
+	// Tenant names the tenant the task's process belongs to (empty =
+	// root). Requires a matching Config.Tenants entry.
+	Tenant string
 }
 
 // Result reports one task's outcome.
@@ -433,8 +445,19 @@ func (m *Machine) spawnSetup(specs []TaskSpec, procFor []*kernel.Process, errp *
 	m.Plat.Engine.Spawn("setup", 0, func(th *sim.Thread) {
 		var ports [2]*hw.Port
 		for i, s := range specs {
+			var ten *cap.Tenant
+			if s.Tenant != "" {
+				if ten = m.Tenant(s.Tenant); ten == nil {
+					*errp = fmt.Errorf("machine: task %q names unknown tenant %q", s.Name, s.Tenant)
+					return
+				}
+			}
 			if s.ProcKey != "" {
 				if p, ok := m.procs[s.ProcKey]; ok && p.Origin == s.Origin {
+					if p.Ten != ten {
+						*errp = fmt.Errorf("machine: task %q reuses process %q across tenants", s.Name, s.ProcKey)
+						return
+					}
 					procFor[i] = p
 					continue
 				}
@@ -447,6 +470,7 @@ func (m *Machine) spawnSetup(specs []TaskSpec, procFor []*kernel.Process, errp *
 				*errp = err
 				return
 			}
+			p.Ten = ten
 			procFor[i] = p
 			if s.ProcKey != "" {
 				m.procs[s.ProcKey] = p

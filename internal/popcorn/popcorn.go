@@ -472,6 +472,12 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 	var werr error
 	if t.Node == t.Proc.Origin {
 		f.Lock(t.Port)
+		if t.CapCancelPending() {
+			// Revoked between the syscall gate and the enqueue: back out as
+			// a spurious wake; the gated wrapper reports the *CapError.
+			f.Unlock(t.Port)
+			return kernel.ErrFutexRetry
+		}
 		val, err := kernel.FutexLoadValue(o.Ctx, t.Port, t.Proc, uaddr)
 		if err != nil {
 			f.Unlock(t.Port)
@@ -493,6 +499,11 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 		t.Th.DisablePreempt()
 		o.Msgr.RPC(t.Port, func(originPt *hw.Port, r []byte) []byte {
 			f.Lock(originPt)
+			if t.CapCancelPending() {
+				werr = kernel.ErrFutexRetry
+				f.Unlock(originPt)
+				return make([]byte, 16)
+			}
 			val, err := kernel.FutexLoadValue(o.Ctx, originPt, t.Proc, uaddr)
 			switch {
 			case err != nil:

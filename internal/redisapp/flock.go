@@ -57,11 +57,11 @@ func (m *futexMutex) Lock(t *kernel.Task) error {
 				m.lockBackoff(t, attempt)
 				continue
 			}
-			if err := t.OS.FutexWait(t, m.word, 2); err != nil && err != kernel.ErrFutexRetry {
+			if err := t.FutexWait(m.word, 2); err != nil && err != kernel.ErrFutexRetry {
 				return err
 			}
 		default: // 2: already marked contended
-			if err := t.OS.FutexWait(t, m.word, 2); err != nil && err != kernel.ErrFutexRetry {
+			if err := t.FutexWait(m.word, 2); err != nil && err != kernel.ErrFutexRetry {
 				return err
 			}
 		}
@@ -86,6 +86,6 @@ func (m *futexMutex) Unlock(t *kernel.Task) error {
 	if err := t.Store(m.word, 8, 0); err != nil {
 		return err
 	}
-	_, err = t.OS.FutexWake(t, m.word, 64)
+	_, err = t.FutexWake(m.word, 64)
 	return err
 }

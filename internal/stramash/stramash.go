@@ -361,6 +361,13 @@ func (o *OS) FutexWait(t *kernel.Task, uaddr pgtable.VirtAddr, expected uint64) 
 	defer t.Th.EndSerial()
 	f := o.futexes[t.Proc.PID].Get(t.Proc.PID, uaddr)
 	f.Lock(t.Port)
+	if t.CapCancelPending() {
+		// The authorizing capability was revoked between the syscall gate
+		// and this enqueue: back out as a spurious wake; the gated wrapper
+		// turns the pending cancel into a typed *CapError.
+		f.Unlock(t.Port)
+		return kernel.ErrFutexRetry
+	}
 	val, err := kernel.FutexLoadValue(o.Ctx, t.Port, t.Proc, uaddr)
 	if err != nil {
 		f.Unlock(t.Port)

@@ -105,6 +105,13 @@ const (
 	KindSockSend      // socket send syscall completed (Arg = payload bytes)
 	KindSockRecv      // socket recv syscall returned data (Arg = payload bytes)
 
+	// Capability events (internal/cap gates in the kernel): emitted only
+	// on tenant-owned paths, so single-tenant (root) traces never contain
+	// them — part of the root-path observer-effect-freedom contract.
+	KindCapDenied // a capability gate refused an access (Arg = cap ID, 0 for path denials)
+	KindCapRevoke // a capability was revoked (Arg = revoked cap ID)
+	KindQuotaHit  // a tenant budget charge was refused (Arg = tenant index)
+
 	numKinds
 )
 
@@ -155,6 +162,10 @@ var kindNames = [numKinds]string{
 	KindNetRetransmit: "net-retransmit",
 	KindSockSend:      "sock-send",
 	KindSockRecv:      "sock-recv",
+
+	KindCapDenied: "cap-denied",
+	KindCapRevoke: "cap-revoke",
+	KindQuotaHit:  "quota-hit",
 }
 
 func (k Kind) String() string {

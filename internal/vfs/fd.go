@@ -1,6 +1,10 @@
 package vfs
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/cap"
+)
 
 // OpenFlags control Open/Create behavior and descriptor access mode.
 type OpenFlags uint32
@@ -30,6 +34,11 @@ type File struct {
 	Flags OpenFlags
 	Off   int64
 	Sock  any
+	// Cap is the handle capability this description is bound to (derived
+	// at open/accept time from the grant that authorized it). 0 for root
+	// tasks; the kernel's per-syscall handle gate checks it on tenant
+	// tasks, so revoking the grant kills every descriptor under it.
+	Cap cap.CapID
 }
 
 // FDTable is a task's descriptor table. Descriptors are small integers;

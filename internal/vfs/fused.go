@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -50,6 +51,9 @@ type FusedCache struct {
 	// Drop can return them to the right buddy allocator.
 	fromPool map[pageKey]bool
 	owner    map[pageKey]mem.NodeID
+	// chargedTo records which tenant's CacheFrames budget each resident
+	// frame was charged against, so Drop can return the charge.
+	chargedTo map[pageKey]*cap.Tenant
 	// perIno keeps each inode's page indexes in insertion order (which is
 	// simulation-deterministic), so Drop never iterates a Go map.
 	perIno map[int64][]int64
@@ -68,6 +72,7 @@ func newFusedCache(cfg Config, stats *Stats) *FusedCache {
 		frames:    make(map[pageKey]mem.PhysAddr),
 		fromPool:  make(map[pageKey]bool),
 		owner:     make(map[pageKey]mem.NodeID),
+		chargedTo: make(map[pageKey]*cap.Tenant),
 		perIno:    make(map[int64][]int64),
 		pool:      newPagePool(cfg.PoolBase, cfg.PoolSize),
 		local:     cfg.Local,
@@ -85,7 +90,7 @@ func (c *FusedCache) Regime() Regime { return RegimeFused }
 func (c *FusedCache) SetInvalidateHook(h InvalidateHook) { c.hook = h }
 
 // Frame implements PageCache: any node's hit returns the one shared frame.
-func (c *FusedCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.PhysAddr, error) {
+func (c *FusedCache) Frame(pt *hw.Port, ten *cap.Tenant, ino *Inode, idx int64, write bool) (mem.PhysAddr, error) {
 	k := pageKey{ino.Ino, idx}
 	pt.T.Advance(lookupCost)
 	lockPage(pt, c.busy, k)
@@ -96,6 +101,15 @@ func (c *FusedCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.
 		return f, nil
 	}
 	c.stats.Misses[pt.Node]++
+	// A miss allocates the page's only frame; it is charged to the faulting
+	// tenant before any allocation so a refused charge leaves no residue.
+	// Hits are free regardless of who faulted the page in — the fused pool
+	// is one shared cache, and the budget bounds what a tenant can force
+	// INTO it, which is exactly the noisy-neighbor lever.
+	if err := ten.ChargeCache(1); err != nil {
+		emitPC(c.tracer, pt, trace.KindQuotaHit, pt.Node, ino.Ino, idx, 0)
+		return 0, err
+	}
 	var frame mem.PhysAddr
 	if c.pool != nil {
 		if pa, ok := c.pool.alloc(); ok {
@@ -108,10 +122,14 @@ func (c *FusedCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.
 	if frame == 0 {
 		pa, err := c.local(pt, pt.Node)
 		if err != nil {
+			ten.UnchargeCache(1)
 			return 0, err
 		}
 		c.owner[k] = pt.Node
 		frame = pa
+	}
+	if ten != nil {
+		c.chargedTo[k] = ten
 	}
 	c.frames[k] = frame
 	c.perIno[ino.Ino] = append(c.perIno[ino.Ino], idx)
@@ -154,6 +172,10 @@ func (c *FusedCache) Drop(pt *hw.Port, ino *Inode) error {
 				return err
 			}
 			delete(c.owner, k)
+		}
+		if ten := c.chargedTo[k]; ten != nil {
+			ten.UnchargeCache(1)
+			delete(c.chargedTo, k)
 		}
 		delete(c.frames, k)
 		c.stats.Invalidations[pt.Node]++

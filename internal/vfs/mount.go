@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/interconnect"
 	"repro/internal/mem"
@@ -208,8 +209,9 @@ func (m *Mount) Truncate(pt *hw.Port, ino *Inode, size int64) error {
 
 // ReadAt copies up to len(p) bytes from ino at off through the page cache.
 // It returns the bytes read; a read starting at or past EOF returns
-// (0, io.EOF), and a read crossing EOF returns short without error.
-func (m *Mount) ReadAt(pt *hw.Port, ino *Inode, p []byte, off int64) (int, error) {
+// (0, io.EOF), and a read crossing EOF returns short without error. ten
+// is the tenant page-cache misses are charged to (nil = root).
+func (m *Mount) ReadAt(pt *hw.Port, ten *cap.Tenant, ino *Inode, p []byte, off int64) (int, error) {
 	if ino.Dir {
 		return 0, ErrIsDir
 	}
@@ -232,7 +234,7 @@ func (m *Mount) ReadAt(pt *hw.Port, ino *Inode, p []byte, off int64) (int, error
 		if chunk > n-done {
 			chunk = n - done
 		}
-		frame, err := m.Cache.Frame(pt, ino, idx, false)
+		frame, err := m.Cache.Frame(pt, ten, ino, idx, false)
 		if err != nil {
 			return done, err
 		}
@@ -243,8 +245,8 @@ func (m *Mount) ReadAt(pt *hw.Port, ino *Inode, p []byte, off int64) (int, error
 }
 
 // WriteAt copies p into ino at off through the page cache, extending the
-// file as needed.
-func (m *Mount) WriteAt(pt *hw.Port, ino *Inode, p []byte, off int64) (int, error) {
+// file as needed. ten is the tenant page-cache misses are charged to.
+func (m *Mount) WriteAt(pt *hw.Port, ten *cap.Tenant, ino *Inode, p []byte, off int64) (int, error) {
 	if ino.Dir {
 		return 0, ErrIsDir
 	}
@@ -260,7 +262,7 @@ func (m *Mount) WriteAt(pt *hw.Port, ino *Inode, p []byte, off int64) (int, erro
 		if chunk > len(p)-done {
 			chunk = len(p) - done
 		}
-		frame, err := m.Cache.Frame(pt, ino, idx, true)
+		frame, err := m.Cache.Frame(pt, ten, ino, idx, true)
 		if err != nil {
 			return done, err
 		}

@@ -3,6 +3,7 @@ package vfs
 import (
 	"encoding/binary"
 
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/interconnect"
 	"repro/internal/mem"
@@ -55,6 +56,11 @@ func pcReq(op byte, ino, idx int64, payload int) []byte {
 type PopcornCache struct {
 	pages  map[pageKey]*pcPage
 	perIno map[int64][]int64
+	// charged records, per node, the tenant whose CacheFrames budget each
+	// local replica was charged against. A tenant whose access replicates a
+	// page on both kernels pays for both replicas — the multiple-kernel
+	// regime's memory amplification, surfaced in the budget.
+	charged [2]map[pageKey]*cap.Tenant
 
 	msgr      *interconnect.Messenger
 	local     LocalAlloc
@@ -67,8 +73,11 @@ type PopcornCache struct {
 
 func newPopcornCache(cfg Config, stats *Stats) *PopcornCache {
 	return &PopcornCache{
-		pages:     make(map[pageKey]*pcPage),
-		perIno:    make(map[int64][]int64),
+		pages:  make(map[pageKey]*pcPage),
+		perIno: make(map[int64][]int64),
+		charged: [2]map[pageKey]*cap.Tenant{
+			make(map[pageKey]*cap.Tenant), make(map[pageKey]*cap.Tenant),
+		},
 		msgr:      cfg.Msgr,
 		local:     cfg.Local,
 		freeLocal: cfg.FreeLocal,
@@ -92,8 +101,10 @@ func (c *PopcornCache) rpc(pt *hw.Port, handler func(remote *hw.Port, req []byte
 	c.stats.MsgCycles[pt.Node] += pt.T.Now() - start
 }
 
-// Frame implements PageCache: the full DSM state machine.
-func (c *PopcornCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.PhysAddr, error) {
+// Frame implements PageCache: the full DSM state machine. Each local
+// replica a tenant's access allocates is charged against its CacheFrames
+// budget (and returned when Drop frees the replica).
+func (c *PopcornCache) Frame(pt *hw.Port, ten *cap.Tenant, ino *Inode, idx int64, write bool) (mem.PhysAddr, error) {
 	n := pt.Node
 	k := pageKey{ino.Ino, idx}
 	pt.T.Advance(lookupCost)
@@ -104,9 +115,17 @@ func (c *PopcornCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (me
 	if pg == nil {
 		// First touch anywhere: a local zeroed frame, exclusively owned.
 		c.stats.Misses[n]++
+		if err := ten.ChargeCache(1); err != nil {
+			emitPC(c.tracer, pt, trace.KindQuotaHit, n, ino.Ino, idx, 0)
+			return 0, err
+		}
 		frame, err := c.local(pt, n)
 		if err != nil {
+			ten.UnchargeCache(1)
 			return 0, err
+		}
+		if ten != nil {
+			c.charged[n][k] = ten
 		}
 		pg = &pcPage{dirty: write}
 		pg.frames[n] = frame
@@ -124,7 +143,7 @@ func (c *PopcornCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (me
 			return pg.frames[n], nil
 		}
 		c.stats.Misses[n]++
-		if err := c.fetch(pt, ino, idx, pg, false); err != nil {
+		if err := c.fetch(pt, ten, ino, idx, pg, false); err != nil {
 			return 0, err
 		}
 		pg.state[n] = csShared
@@ -151,7 +170,7 @@ func (c *PopcornCache) Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (me
 	default:
 		// Write miss: fetch the content and steal exclusive ownership.
 		c.stats.Misses[n]++
-		if err := c.fetch(pt, ino, idx, pg, true); err != nil {
+		if err := c.fetch(pt, ten, ino, idx, pg, true); err != nil {
 			return 0, err
 		}
 		pg.state[n] = csExclusive
@@ -167,13 +186,22 @@ func other(n mem.NodeID) mem.NodeID { return mem.NodeID(1 - int(n)) }
 // page payload) into a local frame. steal invalidates the peer's copy
 // (write miss); otherwise an exclusive peer downgrades to shared, and if
 // it was dirty the transfer doubles as the writeback.
-func (c *PopcornCache) fetch(pt *hw.Port, ino *Inode, idx int64, pg *pcPage, steal bool) error {
+func (c *PopcornCache) fetch(pt *hw.Port, ten *cap.Tenant, ino *Inode, idx int64, pg *pcPage, steal bool) error {
 	n := pt.Node
 	p := other(n)
+	k := pageKey{ino.Ino, idx}
 	if pg.frames[n] == 0 {
+		if err := ten.ChargeCache(1); err != nil {
+			emitPC(c.tracer, pt, trace.KindQuotaHit, n, ino.Ino, idx, 0)
+			return err
+		}
 		frame, err := c.local(pt, n)
 		if err != nil {
+			ten.UnchargeCache(1)
 			return err
+		}
+		if ten != nil {
+			c.charged[n][k] = ten
 		}
 		pg.frames[n] = frame
 	}
@@ -314,6 +342,10 @@ func (c *PopcornCache) Drop(pt *hw.Port, ino *Inode) error {
 				unlockPage(c.busy, k)
 				return err
 			}
+			if ten := c.charged[n][k]; ten != nil {
+				ten.UnchargeCache(1)
+				delete(c.charged[n], k)
+			}
 			pg.frames[n] = 0
 			pg.state[n] = csInvalid
 			c.stats.Invalidations[n]++
@@ -334,6 +366,10 @@ func (c *PopcornCache) Drop(pt *hw.Port, ino *Inode) error {
 				}
 				if err := c.freeLocal(remote, p, ph.frame); err != nil {
 					continue
+				}
+				if ten := c.charged[p][pageKey{ino.Ino, ph.idx}]; ten != nil {
+					ten.UnchargeCache(1)
+					delete(c.charged[p], pageKey{ino.Ino, ph.idx})
 				}
 				ph.pg.frames[p] = 0
 				ph.pg.state[p] = csInvalid

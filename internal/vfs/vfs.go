@@ -25,6 +25,7 @@ package vfs
 import (
 	"errors"
 
+	"repro/internal/cap"
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -122,10 +123,14 @@ func (s Stats) TotalMsgCycles() sim.Cycles { return s.MsgCycles[0] + s.MsgCycles
 // protocol: it returns the frame backing page idx of ino as reachable from
 // pt's node, faulting it in (and running any coherence downgrades) under
 // the page's protocol lock. write declares store intent — in the popcorn
-// regime it acquires exclusive ownership and marks the page dirty.
+// regime it acquires exclusive ownership and marks the page dirty. ten is
+// the tenant the fault is charged to (nil = root, never charged): each
+// frame the cache allocates on a tenant's behalf counts against its
+// CacheFrames budget until the frame is freed, and a charge refused at
+// budget fails the fault with a *cap.CapError.
 type PageCache interface {
 	Regime() Regime
-	Frame(pt *hw.Port, ino *Inode, idx int64, write bool) (mem.PhysAddr, error)
+	Frame(pt *hw.Port, ten *cap.Tenant, ino *Inode, idx int64, write bool) (mem.PhysAddr, error)
 	// Sync flushes ino's dirty pages (popcorn: writeback messages to the
 	// inode's home kernel; fused: a no-op, shared memory is authoritative).
 	Sync(pt *hw.Port, ino *Inode) error

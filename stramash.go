@@ -32,6 +32,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/cap"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -171,6 +172,59 @@ const (
 	OTrunc = vfs.OTrunc
 	// OAppend positions sequential writes at the end.
 	OAppend = vfs.OAppend
+)
+
+// Multi-tenancy. MachineConfig.Tenants boots the machine with a capability
+// namespace: every task carries its tenant (TaskSpec.Tenant), every
+// privileged syscall is checked against the tenant's grants deny-by-default,
+// and resource budgets bound anonymous frames, page-cache frames, and the
+// scheduler share. Machines without tenants keep the root fast path — the
+// gates cost one nil check and zero simulated cycles.
+type (
+	// TenantSpec declares one tenant in MachineConfig.Tenants: name,
+	// budget, and textual capability grants ("file:/prefix", "sock",
+	// "net", "spawn", "futex", "vma").
+	TenantSpec = machine.TenantSpec
+	// TenantBudget is a tenant's resource envelope; zero fields mean
+	// unlimited.
+	TenantBudget = cap.Budget
+	// Tenant is one isolation domain (Machine.Tenant).
+	Tenant = cap.Tenant
+	// TenantStats are a tenant's kernel counters: caps checked, denials,
+	// revocations, frames/cache charged, quota hits.
+	TenantStats = cap.Stats
+	// CapError is the typed error every capability gate returns: who was
+	// refused, on which capability, and why.
+	CapError = cap.CapError
+	// CapID names one capability table entry (Task.RevokeCap).
+	CapID = cap.CapID
+)
+
+// CapError reasons.
+const (
+	// CapDenied: the tenant holds no capability covering the access.
+	CapDenied = cap.Denied
+	// CapRevoked: the capability (or an ancestor) was revoked.
+	CapRevoked = cap.Revoked
+	// CapBudgetExhausted: a resource charge would exceed the budget.
+	CapBudgetExhausted = cap.BudgetExhausted
+)
+
+// Capability kinds, for looking entries up in the table (for example to
+// pick a revocation target with Machine.Ctx.Caps.Table.Find).
+const (
+	// CapFileKind guards path and descriptor access.
+	CapFileKind = cap.File
+	// CapSockKind guards socket syscalls.
+	CapSockKind = cap.Sock
+	// CapVMAKind guards anonymous mmap.
+	CapVMAKind = cap.VMA
+	// CapFutexKind guards futex wait/wake.
+	CapFutexKind = cap.Futex
+	// CapSpawnKind guards clone.
+	CapSpawnKind = cap.Spawn
+	// CapNetKind guards claiming the machine's NIC.
+	CapNetKind = cap.Net
 )
 
 // Clusters. Several machines join one deterministically-arbitrated switch
